@@ -1,0 +1,10 @@
+"""Benchmark harness configuration.
+
+Every benchmark module regenerates one of the paper's figures or claims
+(see DESIGN.md's experiment index and EXPERIMENTS.md for paper-vs-
+measured).  Each test both *times* the relevant pipeline stage with
+pytest-benchmark and *asserts the shape* of the result the paper reports
+(who wins, by what factor, where the behavior changes).
+"""
+
+import pytest

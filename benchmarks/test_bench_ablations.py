@@ -1,0 +1,99 @@
+"""Ablations over the design choices DESIGN.md calls out.
+
+* zero-trip hoisting on/off: latency hiding vs strict safety;
+* message splitting vs atomic operations: exposed latency;
+* the synthetic-node post-pass: productions left on synthetic nodes;
+* give-for-free vs owner-computes (also in the Figure 3 bench).
+"""
+
+import pytest
+
+from repro import (
+    ConditionPolicy,
+    MachineModel,
+    check_placement,
+    generate_communication,
+    simulate,
+)
+from repro.core.placement import Placement
+from repro.core.postpass import shift_synthetic_productions
+from repro.testing.programs import FIG1_SOURCE, FIG11_SOURCE
+
+MACHINE = MachineModel(latency=100, time_per_element=1, message_overhead=10)
+
+
+def test_bench_zero_trip_hoisting_ablation(benchmark):
+    def run_both():
+        hoisted = generate_communication(FIG1_SOURCE, hoist_zero_trip=True)
+        blocked = generate_communication(FIG1_SOURCE, hoist_zero_trip=False)
+        hot = ConditionPolicy("always")
+        return (
+            simulate(hoisted.annotated_program, MACHINE, {"n": 32}, hot),
+            simulate(blocked.annotated_program, MACHINE, {"n": 32}, hot),
+            hoisted, blocked,
+        )
+
+    hoisted_metrics, blocked_metrics, hoisted, blocked = benchmark(run_both)
+    # hoisting: one vectorized message; blocked: per-iteration messages
+    assert hoisted_metrics.messages == 1
+    assert blocked_metrics.messages == 32
+    assert hoisted_metrics.total_time < blocked_metrics.total_time
+    # but the blocked placement is strictly safe on the zero-trip path:
+    report = check_placement(hoisted.analyzed.ifg, blocked.read_problem,
+                             blocked.read_placement, min_trips=0)
+    assert not report.by_kind("safety")
+    print(f"\n[ablation] hoist : {hoisted_metrics.summary()}")
+    print(f"[ablation] block : {blocked_metrics.summary()}")
+
+
+def test_bench_zero_trip_overproduction_is_bounded(benchmark):
+    """What hoisting costs on the zero-trip path: exactly the hoisted
+    message, nothing else."""
+    hoisted = generate_communication(FIG1_SOURCE, hoist_zero_trip=True)
+
+    def run():
+        return simulate(hoisted.annotated_program, MACHINE, {"n": 0},
+                        ConditionPolicy("always"))
+
+    metrics = benchmark(run)
+    assert metrics.messages == 1     # the wasted (empty) message
+    assert metrics.volume == 0       # ... but x(a(1:0)) is empty (§2)
+    print(f"\n[ablation] zero-trip run: {metrics.summary()}")
+
+
+def test_bench_postpass_ablation(benchmark):
+    def run_both():
+        with_postpass = generate_communication(FIG11_SOURCE, postpass=True)
+        without = generate_communication(FIG11_SOURCE, postpass=False)
+        return with_postpass, without
+
+    with_postpass, without = benchmark(run_both)
+
+    def synthetic_sites(result):
+        return sum(
+            1 for production in result.read_placement.productions()
+            if production.node.synthetic
+        )
+
+    assert synthetic_sites(with_postpass) < synthetic_sites(without)
+    print(f"\n[ablation] synthetic read-production sites: "
+          f"postpass={synthetic_sites(with_postpass)}, "
+          f"no-postpass={synthetic_sites(without)}")
+
+
+def test_bench_split_vs_atomic(benchmark):
+    def run_both():
+        split = generate_communication(FIG1_SOURCE, split_messages=True)
+        atomic = generate_communication(FIG1_SOURCE, split_messages=False)
+        policy = ConditionPolicy("always")
+        return (
+            simulate(split.annotated_program, MACHINE, {"n": 32}, policy),
+            simulate(atomic.annotated_program, MACHINE, {"n": 32}, policy),
+        )
+
+    split_metrics, atomic_metrics = benchmark(run_both)
+    assert split_metrics.hidden_latency > 0
+    assert atomic_metrics.hidden_latency == 0
+    assert split_metrics.total_time <= atomic_metrics.total_time
+    print(f"\n[ablation] split : {split_metrics.summary()}")
+    print(f"[ablation] atomic: {atomic_metrics.summary()}")

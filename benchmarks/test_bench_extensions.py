@@ -1,0 +1,167 @@
+"""§6 extensions: reductions, dependence refinement, resource pressure.
+
+These are the paper's listed extensions ("WRITEs combined with different
+reduction operations", "combination with dependence analysis ... refining
+the initial assignments", "a heuristic for inserting additional
+STEAL_init's" against resource pressure), implemented and measured.
+"""
+
+import pytest
+
+from repro import (
+    ConditionPolicy,
+    MachineModel,
+    Problem,
+    check_placement,
+    generate_communication,
+    naive_communication,
+    simulate,
+)
+from repro.core.placement import Placement
+from repro.core.pressure import limit_production_span, measure_spans
+from repro.core.solver import solve
+from repro.testing.programs import analyze_source
+
+MESH_SWEEP = """
+real x(1000)
+real flux(1000)
+integer edge1(1000)
+integer edge2(1000)
+distribute x(block)
+distribute flux(block)
+    do t = 1, steps
+        do k = 1, n
+            flux(edge1(k)) = flux(edge1(k)) + x(edge2(k))
+        enddo
+        do m = 1, n
+            x(m) = ...
+        enddo
+    enddo
+"""
+
+MACHINE = MachineModel(latency=150, time_per_element=1, message_overhead=20)
+
+
+def test_bench_reduction_scatter(benchmark):
+    result = benchmark(generate_communication, MESH_SWEEP)
+    text = result.annotated_source()
+    assert "WRITE_Sum_Send{flux(edge1(1:n))}" in text
+    # the reduction never fetches old flux values
+    assert "READ_Send{flux" not in text
+    bindings = {"n": 256, "steps": 10}
+    gnt = simulate(result.annotated_program, MACHINE, bindings,
+                   ConditionPolicy("always"))
+    naive = simulate(naive_communication(MESH_SWEEP).annotated_program,
+                     MACHINE, bindings, ConditionPolicy("always"))
+    assert gnt.messages < naive.messages / 100
+    print(f"\n[ext] mesh sweep: {naive.messages} naive messages -> "
+          f"{gnt.messages} ({gnt.speedup_over(naive):.0f}x faster)")
+
+
+def test_bench_dependence_refinement(benchmark):
+    """Symbolic disjointness avoids a false steal and its re-read."""
+    source = """
+real x(200)
+distribute x(block)
+    do k = 1, n
+        u = x(k + n)
+    enddo
+    do i = 1, n
+        x(i) = 1
+    enddo
+    do l = 1, n
+        w = x(l + n)
+    enddo
+"""
+
+    def run_both():
+        refined = generate_communication(source)
+        conservative = generate_communication(source, refine_sections=False)
+        bindings = {"n": 64}
+        return (
+            simulate(refined.annotated_program, MACHINE, bindings),
+            simulate(conservative.annotated_program, MACHINE, bindings),
+        )
+
+    refined_metrics, conservative_metrics = benchmark(run_both)
+    # one read message saved (and one write coupling relaxed)
+    assert refined_metrics.messages < conservative_metrics.messages
+    print(f"\n[ext] refined     : {refined_metrics.summary()}")
+    print(f"[ext] conservative: {conservative_metrics.summary()}")
+
+
+def test_bench_register_promotion(benchmark):
+    """§1's unified load/store placement: in-loop memory traffic
+    collapses to one LOAD before and one STORE after."""
+    from repro.regpromo import promote_registers
+
+    source = (
+        "real s(100)\n"
+        "do i = 1, n\n"
+        "s(1) = s(1) + w(i)\n"
+        "s(2) = s(2) + s(1)\n"
+        "enddo\n"
+    )
+    result = benchmark(promote_registers, source)
+    machine = MachineModel(latency=20, time_per_element=0, message_overhead=1)
+    metrics = simulate(result.annotated_program, machine, {"n": 200})
+    # one grouped LOAD + one grouped STORE moving 4 values, instead of
+    # ~1000 in-loop accesses (s(1)'s reuse inside s(2)'s update is
+    # register-forwarded by the give coupling)
+    assert metrics.messages == 2
+    assert metrics.volume == 4
+    print(f"\n[ext] regpromo: {metrics.messages} memory ops "
+          f"({metrics.volume:.0f} values) for a 200-trip double accumulator")
+
+
+def test_bench_prefetch_stalls(benchmark):
+    """§6 prefetching: demand-miss stalls vs prefetched execution."""
+    from repro.prefetch import generate_prefetches
+
+    source = (
+        "real a(10000)\nreal b(10000)\n"
+        "do i = 1, n\nv = a(i)\nenddo\n"
+        "do j = 1, n\nw = b(j)\nenddo\n"
+    )
+    machine = MachineModel(latency=80, time_per_element=0.05,
+                           message_overhead=1)
+
+    def run():
+        result = generate_prefetches(source)
+        return simulate(result.annotated_program, machine, {"n": 128})
+
+    metrics = benchmark(run)
+    transferred = metrics.exposed_latency + metrics.hidden_latency
+    assert metrics.hidden_latency >= machine.latency  # b hides behind a's loop
+    print(f"\n[ext] prefetch: {100 * metrics.hidden_latency / transferred:.0f}% "
+          f"of transfer latency hidden")
+
+
+def test_bench_pressure_span_cap(benchmark):
+    """Capping region spans trades hidden latency for buffer lifetime."""
+    source = "\n".join(f"v{i} = {i}" for i in range(16)) + "\nu = x(1)"
+    analyzed = analyze_source(source)
+
+    def run():
+        rows = []
+        for max_span in (None, 8, 4, 2):
+            problem = Problem()
+            problem.add_take(analyzed.node_named("u ="), "e")
+            if max_span is None:
+                solution = solve(analyzed.ifg, problem)
+                placement = Placement(analyzed.ifg, problem, solution)
+            else:
+                _, placement, _ = limit_production_span(
+                    analyzed.ifg, problem, max_span)
+            span = measure_spans(analyzed.ifg, placement)["e"][0]
+            report = check_placement(analyzed.ifg, problem, placement)
+            rows.append((max_span, span, report.ok(ignore=("redundant",))))
+        return rows
+
+    rows = benchmark(run)
+    print("\n[ext] span cap -> achieved span (correct?)")
+    for cap, span, ok in rows:
+        print(f"[ext]   cap={cap}: span={span} ok={ok}")
+        assert ok
+    spans = [span for _, span, _ in rows]
+    assert spans == sorted(spans, reverse=True)  # tighter caps, shorter spans

@@ -1,0 +1,44 @@
+"""Figures 11/12: interval flow graph construction.
+
+Benchmarks the frontend + graph pipeline on the running example and
+asserts the exact Figure 12 structure (14 nodes, edge classification,
+Tarjan intervals).
+"""
+
+import pytest
+
+from repro.graph.interval_graph import EdgeType
+from repro.testing.programs import FIG11_SOURCE, analyze_source
+
+
+def test_bench_fig12_graph_construction(benchmark):
+    analyzed = benchmark(analyze_source, FIG11_SOURCE)
+    ifg = analyzed.ifg
+    assert len(ifg.real_nodes()) == 14
+    assert len(ifg.jump_edges()) == 1
+    assert len(ifg.edges("S")) == 1
+    by_type = {}
+    for _, _, edge_type in ifg.edges("CEFJ"):
+        by_type[edge_type] = by_type.get(edge_type, 0) + 1
+    # 3 loops + ROOT: 4 entry edges, 4 cycle edges; 1 jump
+    assert by_type[EdgeType.ENTRY] == 4
+    assert by_type[EdgeType.CYCLE] == 4
+    assert by_type[EdgeType.JUMP] == 1
+    print(f"\n[fig12] edge counts: "
+          f"{ {t.name: c for t, c in sorted(by_type.items(), key=lambda x: x[0].name)} }")
+
+
+def test_bench_preorder_numbering(benchmark):
+    analyzed = analyze_source(FIG11_SOURCE)
+    from repro.graph.traversal import preorder_numbering
+
+    numbering = benchmark(preorder_numbering, analyzed.ifg)
+    assert sorted(numbering.values()) == list(range(1, 15))
+
+
+def test_bench_dot_export(benchmark):
+    analyzed = analyze_source(FIG11_SOURCE)
+    from repro.graph.dot import interval_graph_to_dot
+
+    text = benchmark(interval_graph_to_dot, analyzed.ifg, analyzed.numbering)
+    assert 'label="JUMP"' in text

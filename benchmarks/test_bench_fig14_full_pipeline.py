@@ -1,0 +1,63 @@
+"""Figure 14 (and the §4 golden values): the full pipeline on Figure 11.
+
+Benchmarks the complete communication-generation pipeline and asserts
+the annotated output the paper prints, plus the result-variable values
+of §4.5 (READ_Send at nodes 1/6/10, READ_Recv at node 12).
+"""
+
+import pytest
+
+from repro.core import Problem, solve
+from repro.core.problem import Timing
+from repro.commgen import generate_communication
+from repro.testing.programs import FIG11_SOURCE, analyze_source
+
+
+def test_bench_full_pipeline(benchmark):
+    result = benchmark(generate_communication, FIG11_SOURCE)
+    lines = [line.strip() for line in result.annotated_source().splitlines()]
+    assert lines[6] == "READ_Send{x(11:n + 10)}"          # top of program
+    assert "WRITE_Send{y(a(1:i))}" in lines               # partial section
+    assert "77  READ_Recv{x(11:n + 10), y(b(1:n))}" in [
+        line.strip() for line in result.annotated_source().splitlines()
+    ]
+    print("\n[fig14]\n" + result.annotated_source())
+
+
+def test_bench_read_instance_solve(benchmark):
+    """Time just the GiveNTake solve of the §4 READ instance, and check
+    its result variables against the paper's §4.5 listings."""
+    analyzed = analyze_source(FIG11_SOURCE)
+    problem = Problem()
+    problem.add_take(analyzed.node(13), "x_k", "y_b")
+    problem.add_give(analyzed.node(3), "y_a")
+    problem.add_steal(analyzed.node(3), "y_b")
+
+    solution = benchmark(solve, analyzed.ifg, problem)
+    assert analyzed.numbers(solution.nodes_with("RES_in", "x_k", Timing.EAGER)) == [1]
+    assert analyzed.numbers(solution.nodes_with("RES_in", "y_b", Timing.EAGER)) == [6, 10]
+    assert analyzed.numbers(solution.nodes_with("RES_in", "x_k", Timing.LAZY)) == [12]
+    assert analyzed.numbers(solution.nodes_with("RES_in", "y_b", Timing.LAZY)) == [12]
+
+
+def test_bench_atomic_vs_split_exposure(benchmark):
+    """The split (send/recv) placement hides latency that the atomic
+    placement must expose — the point of non-atomicity (§1, §6)."""
+    from repro import ConditionPolicy, MachineModel, simulate
+
+    machine = MachineModel(latency=200, time_per_element=1, message_overhead=5)
+
+    def run_both():
+        split = generate_communication(FIG11_SOURCE, split_messages=True)
+        atomic = generate_communication(FIG11_SOURCE, split_messages=False)
+        split_metrics = simulate(split.annotated_program, machine, {"n": 32},
+                                 ConditionPolicy("never"))
+        atomic_metrics = simulate(atomic.annotated_program, machine, {"n": 32},
+                                  ConditionPolicy("never"))
+        return split_metrics, atomic_metrics
+
+    split_metrics, atomic_metrics = benchmark(run_both)
+    assert split_metrics.hidden_latency > atomic_metrics.hidden_latency
+    assert split_metrics.total_time < atomic_metrics.total_time
+    print(f"\n[fig14] split : {split_metrics.summary()}")
+    print(f"[fig14] atomic: {atomic_metrics.summary()}")

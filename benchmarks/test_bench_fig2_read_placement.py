@@ -1,0 +1,73 @@
+"""Figure 1→2: naive vs GIVE-N-TAKE READ placement.
+
+Paper's claim: the naive code generation exchanges N messages with no
+latency hiding; GIVE-N-TAKE needs *one* vectorized message and uses the
+i loop for latency hiding.
+"""
+
+import pytest
+
+from repro import (
+    ConditionPolicy,
+    MachineModel,
+    generate_communication,
+    naive_communication,
+    simulate,
+)
+from repro.testing.programs import FIG1_SOURCE
+
+MACHINE = MachineModel(latency=100, time_per_element=1, message_overhead=10)
+
+
+def run_gnt():
+    return generate_communication(FIG1_SOURCE)
+
+
+def test_bench_gnt_pipeline(benchmark):
+    result = benchmark(run_gnt)
+    assert "READ_Send{x(a(1:n))}" in result.annotated_source()
+
+
+@pytest.mark.parametrize("n", [8, 32, 128])
+def test_bench_message_counts(benchmark, n):
+    gnt = generate_communication(FIG1_SOURCE)
+    naive = naive_communication(FIG1_SOURCE)
+    policy = ConditionPolicy("always")
+
+    def measure():
+        return (
+            simulate(gnt.annotated_program, MACHINE, {"n": n}, policy),
+            simulate(naive.annotated_program, MACHINE, {"n": n}, policy),
+        )
+
+    gnt_metrics, naive_metrics = benchmark(measure)
+
+    # Figure 2's shape: N messages vs exactly 1.
+    assert naive_metrics.messages == n
+    assert gnt_metrics.messages == 1
+    # identical volume (same data moves, fewer envelopes)
+    assert naive_metrics.volume == gnt_metrics.volume == n
+    # naive exposes the full latency every iteration; GNT hides most of
+    # it behind the i loop
+    assert naive_metrics.exposed_latency == n * MACHINE.transfer_time(1)
+    assert gnt_metrics.hidden_latency > 0
+    assert gnt_metrics.total_time < naive_metrics.total_time
+    print(f"\n[fig2] n={n}: naive {naive_metrics.summary()}")
+    print(f"[fig2] n={n}: gnt   {gnt_metrics.summary()}")
+    print(f"[fig2] n={n}: speedup {gnt_metrics.speedup_over(naive_metrics):.1f}x")
+
+
+def test_bench_latency_hiding_grows_with_n(benchmark):
+    gnt = generate_communication(FIG1_SOURCE)
+
+    def sweep():
+        hidden = []
+        for n in (4, 16, 64):
+            metrics = simulate(gnt.annotated_program, MACHINE, {"n": n},
+                               ConditionPolicy("always"))
+            hidden.append(metrics.hidden_latency)
+        return hidden
+
+    hidden = benchmark(sweep)
+    # more work before the consumer -> more hidden latency
+    assert hidden == sorted(hidden)

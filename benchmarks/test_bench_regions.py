@@ -1,0 +1,71 @@
+"""Quantifying the latency-hiding window (the paper's non-atomicity
+argument, §1/§6): region lengths under GIVE-N-TAKE vs atomic placement.
+
+Classical PRE places single points — every production region is
+degenerate.  GIVE-N-TAKE's split solutions open windows whose length we
+measure in work statements across random programs.
+"""
+
+import pytest
+
+from repro.core import Problem, solve
+from repro.core.placement import Placement, Position
+from repro.core.problem import Timing
+from repro.core.regions import extract_regions, region_summary
+from repro.testing.generator import random_analyzed_program, random_problem
+from repro.testing.programs import FIG11_SOURCE, analyze_source
+from tests.conftest import make_fig11_read_problem
+
+
+def test_bench_fig11_window(benchmark):
+    analyzed = analyze_source(FIG11_SOURCE)
+    problem = make_fig11_read_problem(analyzed)
+    solution = solve(analyzed.ifg, problem)
+    placement = Placement(analyzed.ifg, problem, solution)
+
+    regions = benchmark(extract_regions, analyzed.ifg, problem, placement,
+                        max_paths=100, min_trips=1)
+    count, mean_work, degenerate = region_summary(regions)
+    assert mean_work >= 2.0       # the i/j loops sit inside the windows
+    # degenerate windows exist only on goto paths, where the jump leads
+    # straight to the receive at label 77 (exactly Figure 14's shape)
+    assert degenerate < 0.5
+    print(f"\n[regions] fig11: {count} regions, mean window "
+          f"{mean_work:.1f} statements, {degenerate:.0%} degenerate")
+
+
+def test_bench_window_distribution_vs_atomic(benchmark):
+    def run():
+        split_summaries = []
+        atomic_summaries = []
+        for seed in range(6):
+            analyzed = random_analyzed_program(seed, size=16,
+                                               goto_probability=0.0)
+            problem = random_problem(analyzed, seed=seed + 5, n_elements=3,
+                                     steal_probability=0.05)
+            if not problem.annotated_nodes():
+                continue
+            solution = solve(analyzed.ifg, problem)
+            placement = Placement(analyzed.ifg, problem, solution)
+            split_summaries.append(region_summary(extract_regions(
+                analyzed.ifg, problem, placement, max_paths=60, min_trips=1)))
+
+            # atomic placement: both timings at the LAZY sites
+            atomic = Placement.empty(analyzed.ifg, problem)
+            for production in placement.productions(Timing.LAZY):
+                for element in production.elements:
+                    atomic.add(production.node, production.position,
+                               Timing.EAGER, element)
+                    atomic.add(production.node, production.position,
+                               Timing.LAZY, element)
+            atomic_summaries.append(region_summary(extract_regions(
+                analyzed.ifg, problem, atomic, max_paths=60, min_trips=1)))
+        return split_summaries, atomic_summaries
+
+    split_summaries, atomic_summaries = benchmark(run)
+    split_mean = sum(s[1] for s in split_summaries) / len(split_summaries)
+    atomic_mean = sum(s[1] for s in atomic_summaries) / len(atomic_summaries)
+    assert atomic_mean == 0.0            # atomic = always degenerate
+    assert split_mean > 0.3              # GNT opens real windows on average
+    print(f"\n[regions] random programs: GNT mean window {split_mean:.2f} "
+          f"statements vs atomic {atomic_mean:.2f}")

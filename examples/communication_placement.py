@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Communication generation: the paper's Figures 1→2 and 3.
+
+Compiles data-parallel mini-Fortran with distributed arrays into
+annotated programs with vectorized, balanced READ/WRITE communication,
+then measures naive vs. GIVE-N-TAKE placement on the machine simulator
+(message counts, volume, exposed latency).
+
+Run:  python examples/communication_placement.py
+"""
+
+from repro import (
+    ConditionPolicy,
+    MachineModel,
+    generate_communication,
+    naive_communication,
+    simulate,
+)
+from repro.testing.programs import FIG1_SOURCE, FIG3_SOURCE
+
+
+def banner(title):
+    print(f"\n{'=' * 68}\n{title}\n{'=' * 68}")
+
+
+def main():
+    banner("Figure 1: the input program (x is distributed)")
+    print(FIG1_SOURCE)
+
+    banner("Naive placement (Figure 2, left): one message per element")
+    naive = naive_communication(FIG1_SOURCE)
+    print(naive.annotated_source())
+
+    banner("GIVE-N-TAKE placement (Figure 2, right): one vectorized message")
+    gnt = generate_communication(FIG1_SOURCE)
+    print(gnt.annotated_source())
+
+    banner("Simulated cost (n = 64, latency = 100, both branch outcomes)")
+    machine = MachineModel(latency=100, time_per_element=1, message_overhead=10)
+    print(f"{'branch':>8} {'strategy':>8} {'messages':>9} {'volume':>7} "
+          f"{'exposed':>8} {'hidden':>7} {'total':>7}")
+    for branch in ("always", "never"):
+        for name, result in (("naive", naive), ("gnt", gnt)):
+            metrics = simulate(result.annotated_program, machine,
+                               {"n": 64}, ConditionPolicy(branch))
+            print(f"{branch:>8} {name:>8} {metrics.messages:>9} "
+                  f"{metrics.volume:>7.0f} {metrics.exposed_latency:>8.0f} "
+                  f"{metrics.hidden_latency:>7.0f} {metrics.total_time:>7.0f}")
+
+    banner("Figure 3: local definitions of non-owned data (give-for-free)")
+    print(FIG3_SOURCE)
+    result = generate_communication(FIG3_SOURCE)
+    print(result.annotated_source())
+    print("Note: x(a(1:n)) is defined locally, so it is never READ — the")
+    print("definition 'gives' it for free; only the WRITE back to the")
+    print("owners is placed, and the j loop hides its latency.")
+
+
+if __name__ == "__main__":
+    main()

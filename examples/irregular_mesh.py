@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""An irregular mesh sweep — the workload class that motivated the
+Fortran D work GIVE-N-TAKE was built for (gather / compute / scatter-add
+over an unstructured mesh, iterated in a time-step loop).
+
+Shows three framework features working together:
+
+* the *gather* (indirect reads ``x(edge1(k))``, ``x(edge2(k))``) is
+  vectorized and hoisted out of the edge loop — but **not** out of the
+  time loop, because the scatter invalidates it every time step;
+* the *scatter-add* is recognized as a sum reduction: the old values
+  are never fetched, one combining ``WRITE_Sum`` per time step;
+* the sequencing between them falls out of GIVE-N-TAKE's steals: the
+  next step's gather waits for the reduction write-back.
+
+Run:  python examples/irregular_mesh.py
+"""
+
+from repro import (
+    ConditionPolicy,
+    MachineModel,
+    generate_communication,
+    naive_communication,
+    simulate,
+)
+
+MESH_SWEEP = """
+real x(1000)
+real flux(1000)
+integer edge1(1000)
+integer edge2(1000)
+distribute x(block)
+distribute flux(block)
+    do t = 1, steps
+        do k = 1, n
+            flux(edge1(k)) = flux(edge1(k)) + x(edge2(k))
+        enddo
+        do m = 1, n
+            x(m) = ...
+        enddo
+    enddo
+"""
+
+
+def main():
+    print("Input (unstructured mesh sweep, x and flux distributed):")
+    print(MESH_SWEEP)
+
+    result = generate_communication(MESH_SWEEP)
+    print("Annotated output:")
+    print(result.annotated_source())
+
+    print("Things to notice:")
+    print(" * READ_Send/Recv{x(edge2(1:n))} sit inside the t loop but")
+    print("   outside the k loop: vectorized over the edges, re-fetched")
+    print("   each time step (the x update steals it).")
+    print(" * WRITE_Send/Recv{x(1:n)}: the x update is written back each")
+    print("   step, before the next gather (the C3 read coupling).")
+    print(" * WRITE_Sum_Send/Recv{flux(edge1(1:n))}: a combining")
+    print("   write-back, hoisted out of the *whole* time loop — local")
+    print("   contributions accumulate and combine at the owners once,")
+    print("   because nothing reads flux in between.")
+
+    machine = MachineModel(latency=150, time_per_element=1, message_overhead=20)
+    bindings = {"n": 256, "steps": 10}
+    gnt_metrics = simulate(result.annotated_program, machine, bindings,
+                           ConditionPolicy("always"))
+    naive = naive_communication(MESH_SWEEP)
+    naive_metrics = simulate(naive.annotated_program, machine, bindings,
+                             ConditionPolicy("always"))
+
+    print(f"\nSimulated, 10 time steps over 256 edges:")
+    print(f"  GIVE-N-TAKE: {gnt_metrics.summary()}")
+    print(f"  naive      : {naive_metrics.summary()}")
+    print(f"  speedup    : {gnt_metrics.speedup_over(naive_metrics):.1f}x "
+          f"({naive_metrics.messages} messages -> {gnt_metrics.messages})")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,81 @@
+#!/usr/bin/env python3
+"""GIVE-N-TAKE as a PRE engine, compared against the classics.
+
+Classical PRE (Morel-Renvoise 1979, Lazy Code Motion 1992) is the LAZY,
+BEFORE instance of GIVE-N-TAKE.  This example runs all three on
+common-subexpression workloads and shows the two behaviors the paper
+highlights:
+
+* identical results on ordinary partial redundancies;
+* GIVE-N-TAKE hoists out of potentially zero-trip loops (the paper's
+  deliberate trade-off, §2), which safety-bound classical PRE cannot.
+
+Run:  python examples/pre_comparison.py
+"""
+
+from repro import analyze_source
+from repro.core.paths import enumerate_paths
+from repro.pre import (
+    build_cse_problem,
+    gnt_pre_placement,
+    lazy_code_motion,
+    morel_renvoise,
+)
+from repro.pre.gnt_pre import evaluations_on_path, lazy_insertion_nodes
+
+CASES = {
+    "full redundancy": "u = a + b\nv = a + b",
+    "partial redundancy": "if t then\nu = a + b\nendif\nv = a + b",
+    "diamond join": "if t then\nu = a + b\nelse\nw = a + b\nendif\nv = a + b",
+    "kill in between": "u = a + b\na = 1\nv = a + b",
+    "zero-trip loop invariant": "do i = 1, n\nu = a + b\nenddo",
+    "loop + after": "do i = 1, n\nu = a + b\nenddo\nv = a + b",
+}
+
+
+def describe(nodes, analyzed):
+    return [f"{analyzed.numbering[n]}:{n.name}" for n in nodes]
+
+
+def main():
+    for name, source in CASES.items():
+        print(f"\n=== {name} ===")
+        print("\n".join("    " + line for line in source.splitlines()))
+        analyzed = analyze_source(source)
+        problem, _ = build_cse_problem(analyzed)
+        lcm = lazy_code_motion(analyzed.ifg, problem)
+        mr = morel_renvoise(analyzed.ifg, problem)
+        gnt = gnt_pre_placement(analyzed.ifg, problem)
+
+        print("  LCM inserts :", describe(lcm.node_insertions_for("a + b"),
+                                          analyzed) or "-")
+        print("  LCM deletes :", describe(lcm.delete_nodes, analyzed) or "-")
+        print("  MR  inserts :", describe(mr.node_insertions_for("a + b"),
+                                          analyzed) or "-")
+        print("  GNT eval at :", describe(
+            lazy_insertion_nodes(gnt, "a + b"), analyzed) or "-")
+
+        # dynamic cost: expression evaluations per execution path
+        paths = enumerate_paths(analyzed.ifg, max_paths=20, min_trips=1)
+        gnt_costs = [evaluations_on_path(gnt, problem, p, analyzed.ifg)
+                     for p in paths]
+        print(f"  GNT evaluations over {len(paths)} paths: {gnt_costs}")
+
+    print("\nTakeaway: on the zero-trip loop GIVE-N-TAKE evaluates a + b")
+    print("once before the loop (1 per path) while safety-bound classical")
+    print("PRE leaves it inside (n evaluations); the cost is one wasted")
+    print("evaluation on paths where the loop never runs.")
+
+    print("\nAnd as an actual transformation "
+          "(repro.pre.eliminate_common_subexpressions):")
+    from repro.pre import eliminate_common_subexpressions
+
+    for name in ("partial redundancy", "zero-trip loop invariant"):
+        print(f"--- {name}, transformed ---")
+        result = eliminate_common_subexpressions(
+            analyze_source(CASES[name]))
+        print(result.transformed_source())
+
+
+if __name__ == "__main__":
+    main()

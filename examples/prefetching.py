@@ -1,0 +1,71 @@
+#!/usr/bin/env python3
+"""Cache prefetching — a second application of the same framework.
+
+The paper's §6 claims GIVE-N-TAKE applies to "general memory hierarchy
+issues (cache prefetching, register allocation, parallel I/O)".  Here
+the *identical* solver places prefetches: a load consumes its section, a
+prefetch is the EAGER production, the demand access the LAZY one, stores
+steal stale lines, and loads give their line for free (it is cached).
+
+Run:  python examples/prefetching.py
+"""
+
+from repro.machine import MachineModel, simulate
+from repro.prefetch import generate_prefetches
+
+SWEEP = """
+real a(10000)
+real b(10000)
+real c(10000)
+real d(10000)
+    do t = 1, steps
+        do i = 1, n
+            b(i) = 2 * a(i)
+        enddo
+        do j = 1, n
+            d(j) = c(j) + b(j)
+        enddo
+        do m = 1, n
+            c(m) = ...
+        enddo
+    enddo
+"""
+
+
+def main():
+    print("A three-phase time-step sweep:")
+    print(SWEEP)
+
+    result = generate_prefetches(SWEEP)
+    print("With prefetches placed by GIVE-N-TAKE:")
+    print(result.annotated_source())
+
+    print("Notes:")
+    print(" * only two *cold-start* prefetches exist, hoisted above the")
+    print("   whole time loop;")
+    print(" * every store gives its section for free (write-allocate):")
+    print("   b, d, and even the rewritten c stay cached, so nothing is")
+    print("   ever re-prefetched — the give-for-free coupling at work.")
+
+    machine = MachineModel(latency=60, time_per_element=0.05,
+                           message_overhead=2)
+    bindings = {"n": 128, "steps": 4}
+    metrics = simulate(result.annotated_program, machine, bindings)
+    transferred = metrics.exposed_latency + metrics.hidden_latency
+    print(f"\nSimulated ({bindings}): {metrics.summary()}")
+    print(f"Latency hidden: {100 * metrics.hidden_latency / transferred:.0f}%")
+
+    print("\nOn a non-allocating cache (stores bypass), c must be")
+    print("re-fetched each step — and the prefetch lands *before the i")
+    print("loop*, a full phase ahead of its use:")
+    bypass = generate_prefetches(SWEEP, write_allocate=False)
+    print(bypass.annotated_source())
+    bypass_metrics = simulate(bypass.annotated_program, machine, bindings)
+    transferred = bypass_metrics.exposed_latency + bypass_metrics.hidden_latency
+    print(f"Simulated: {bypass_metrics.summary()}")
+    print(f"Latency hidden: "
+          f"{100 * bypass_metrics.hidden_latency / transferred:.0f}%")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,68 @@
+#!/usr/bin/env python3
+"""Register promotion — loads and stores from ONE equation system.
+
+The paper's §1 criticizes classical PRE for needing "different, but
+interdependent sets of equations for loads and stores" [Dha88b].
+GIVE-N-TAKE needs none of that: loads are a BEFORE problem, stores an
+AFTER problem, both solved by the identical algorithm, and the
+give-for-free coupling lets a store satisfy later loads from the
+register.
+
+Run:  python examples/register_promotion.py
+"""
+
+from repro.machine import MachineModel, simulate
+from repro.regpromo import promote_registers
+
+CASES = {
+    "accumulator in a loop": """
+real s(100)
+    do i = 1, n
+        s(1) = s(1) + w(i)
+    enddo
+""",
+    "read-modify-write in a loop, used after": """
+real x(100)
+    do i = 1, n
+        u = x(5)
+        x(5) = u + 1
+    enddo
+    w = x(5)
+""",
+    "aliasing fences": """
+real x(100)
+    u = x(5)
+    x(j) = 1
+    w = x(5)
+""",
+    "branchy lifetime": """
+real x(100)
+    if t then
+        u = x(5)
+    else
+        x(5) = 2
+    endif
+    w = x(5)
+""",
+}
+
+
+def main():
+    for name, source in CASES.items():
+        print(f"=== {name} ===")
+        result = promote_registers(source)
+        print(result.annotated_source())
+
+    print("Memory-traffic effect on the accumulator (n = 100):")
+    machine = MachineModel(latency=20, time_per_element=0, message_overhead=1)
+    result = promote_registers(CASES["accumulator in a loop"])
+    metrics = simulate(result.annotated_program, machine, {"n": 100})
+    print(f"  promoted: {metrics.messages} memory operations "
+          f"(instead of 200 in-loop accesses)")
+    print("\nNote the aliasing case: x(j) might be x(5), so the STORE is")
+    print("fenced before the read and the register is reloaded after a")
+    print("potentially clobbering def — all falling out of the steal sets.")
+
+
+if __name__ == "__main__":
+    main()

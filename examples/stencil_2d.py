@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""A 2-D Jacobi-style sweep — multi-dimensional sections and reuse.
+
+The classic Fortran D workload: a distributed 2-D grid updated from its
+neighbors.  GIVE-N-TAKE vectorizes the gathers into per-section messages
+(`g(0:n+1, 1:m)`-style), recognizes the reuse between the shifted
+references, and re-fetches per time step only because the update steals
+the sections.
+
+Run:  python examples/stencil_2d.py
+"""
+
+from repro.machine import ConditionPolicy, MachineModel, simulate
+from repro.commgen import generate_communication, naive_communication
+
+JACOBI = """
+real g(10000)
+real new(10000)
+distribute g(block)
+distribute new(block)
+    do t = 1, steps
+        do i = 1, n
+            do j = 1, m
+                new(i, j) = g(i - 1, j) + g(i + 1, j) + g(i, j - 1) + g(i, j + 1)
+            enddo
+        enddo
+        do p = 1, n
+            do q = 1, m
+                g(p, q) = new(p, q)
+            enddo
+        enddo
+    enddo
+"""
+
+
+def main():
+    print("A 2-D Jacobi sweep on a distributed grid:")
+    print(JACOBI)
+
+    result = generate_communication(JACOBI)
+    print("Annotated:")
+    print(result.annotated_source())
+
+    machine = MachineModel(latency=120, time_per_element=0.2,
+                           message_overhead=15)
+    bindings = {"n": 16, "m": 16, "steps": 5}
+    gnt = simulate(result.annotated_program, machine, bindings)
+    naive = simulate(naive_communication(JACOBI).annotated_program, machine,
+                     bindings)
+    print("Simulated (16x16 grid, 5 steps):")
+    print(f"  GIVE-N-TAKE: {gnt.summary()}")
+    print(f"  naive      : {naive.summary()}")
+    print(f"  speedup    : {gnt.speedup_over(naive):.1f}x "
+          f"({naive.messages} -> {gnt.messages} messages)")
+
+    print("\nNotes: the four shifted gathers become four vectorized")
+    print("sections fetched once per time step; new(i,j)'s definition is")
+    print("local (give-for-free), so only g's halo-shaped sections move;")
+    print("the copy-back loop steals them, forcing the per-step re-fetch.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,92 @@
+"""GIVE-N-TAKE — a balanced code placement framework.
+
+Reproduction of Reinhard von Hanxleden and Ken Kennedy, *GIVE-N-TAKE — A
+Balanced Code Placement Framework*, PLDI 1994.
+
+Public API overview
+===================
+
+Core framework (the paper's contribution)::
+
+    from repro import Problem, Direction, Timing, solve, Placement
+
+    analyzed = analyze_source(source)          # mini-Fortran -> interval graph
+    problem = Problem(direction=Direction.BEFORE)
+    problem.add_take(node, "element")          # consumption
+    problem.add_steal(node, "element")         # destruction
+    problem.add_give(node, "element")          # free production
+    solution = solve(analyzed.ifg, problem)    # the GiveNTake algorithm
+    placement = Placement(analyzed.ifg, problem, solution)
+    placement.productions()                    # EAGER + LAZY production sites
+
+Communication generation (the paper's driving application)::
+
+    from repro import generate_communication
+    result = generate_communication(source)    # READs + WRITEs, Figure 14 style
+    print(result.annotated_source())
+
+Validation and measurement::
+
+    from repro import check_placement          # C1/C2/C3/O1 path replay
+    from repro import simulate, MachineModel   # message/latency simulator
+"""
+
+from repro.core import (
+    Direction,
+    Placement,
+    Problem,
+    Solution,
+    Timing,
+    Universe,
+    check_placement,
+    enumerate_paths,
+    extract_regions,
+    limit_production_span,
+    measure_spans,
+    region_summary,
+    shift_synthetic_productions,
+    solve,
+)
+from repro.graph import (
+    IntervalFlowGraph,
+    build_cfg,
+    interval_graph_for_program,
+    normalize,
+)
+from repro.lang import format_program, parse
+from repro.testing.programs import AnalyzedProgram, analyze_source
+from repro.commgen import generate_communication, naive_communication
+from repro.machine import ConditionPolicy, MachineModel, simulate
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Direction",
+    "Placement",
+    "Problem",
+    "Solution",
+    "Timing",
+    "Universe",
+    "check_placement",
+    "enumerate_paths",
+    "extract_regions",
+    "limit_production_span",
+    "measure_spans",
+    "region_summary",
+    "shift_synthetic_productions",
+    "solve",
+    "IntervalFlowGraph",
+    "build_cfg",
+    "interval_graph_for_program",
+    "normalize",
+    "format_program",
+    "parse",
+    "AnalyzedProgram",
+    "analyze_source",
+    "generate_communication",
+    "naive_communication",
+    "ConditionPolicy",
+    "MachineModel",
+    "simulate",
+    "__version__",
+]

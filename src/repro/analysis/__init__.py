@@ -1,0 +1,46 @@
+"""Array reference analysis for communication generation.
+
+The paper's communication instance of GIVE-N-TAKE uses a "value number
+based data flow universe" ([Han93]): each universe element is an *array
+portion* identified by the value number of its (loop-normalized)
+subscript.  This package provides:
+
+* :mod:`repro.analysis.expr` — symbolic affine expressions and ranges
+  over loop indices and parameters (``k + 10``, ``1:n``);
+* :mod:`repro.analysis.sections` — section descriptors: affine sections
+  ``x(11:n+10)``, indirect sections ``x(a(1:n))``, and single points
+  ``x(5)``; two textually different references with the same normalized
+  descriptor share a value number (``x(a(k))`` ≡ ``x(a(l))``);
+* :mod:`repro.analysis.value_numbering` — normalization of AST array
+  references against their loop context into section descriptors;
+* :mod:`repro.analysis.references` — collection of all array reads and
+  definitions of a program, attached to CFG nodes;
+* :mod:`repro.analysis.ownership` — the distribution/ownership model
+  deciding which references require communication.
+"""
+
+from repro.analysis.expr import SymExpr, SymRange, NonAffineError
+from repro.analysis.sections import (
+    AffineSection,
+    IndirectSection,
+    PointSection,
+    section_conflicts,
+)
+from repro.analysis.value_numbering import ValueNumbering, LoopContext
+from repro.analysis.references import ArrayAccess, collect_accesses
+from repro.analysis.ownership import OwnershipModel
+
+__all__ = [
+    "SymExpr",
+    "SymRange",
+    "NonAffineError",
+    "AffineSection",
+    "IndirectSection",
+    "PointSection",
+    "section_conflicts",
+    "ValueNumbering",
+    "LoopContext",
+    "ArrayAccess",
+    "collect_accesses",
+    "OwnershipModel",
+]

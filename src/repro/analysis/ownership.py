@@ -1,0 +1,53 @@
+"""Distribution/ownership model.
+
+Decides which accesses touch potentially *non-owned* data and therefore
+participate in communication generation.  The paper deliberately keeps
+name-space mapping out of GIVE-N-TAKE ([Han93]); we model the decision
+interface:
+
+* replicated arrays are always owned — no communication;
+* distributed (block/cyclic) arrays are conservatively non-owned for
+  reads (any processor may reference any portion);
+* definitions of distributed arrays are non-owned unless the strict
+  owner-computes rule is in force (``owner_computes=True``), in which
+  case every definition executes at the owner and needs no write-back —
+  but then local definitions also stop producing data "for free".
+"""
+
+
+class OwnershipModel:
+    """Ownership decisions for one program's symbol table."""
+
+    def __init__(self, symbols, owner_computes=False):
+        self.symbols = symbols
+        self.owner_computes = owner_computes
+
+    def is_communicated_array(self, array):
+        return self.symbols.is_distributed(array)
+
+    def read_needs_communication(self, access):
+        """A non-owned reference: must be satisfied by a READ (or a
+        preceding local definition when not owner-computes)."""
+        return not access.is_def and self.is_communicated_array(access.array)
+
+    def def_needs_writeback(self, access):
+        """A non-owned definition: must be sent back to the owner by a
+        WRITE (AFTER problem)."""
+        return (
+            access.is_def
+            and self.is_communicated_array(access.array)
+            and not self.owner_computes
+        )
+
+    def def_gives_locally(self, access):
+        """Whether a definition produces its portion "for free" for
+        subsequent local reads (paper §3.1): yes without owner-computes
+        — the defining processor holds the fresh values.  A *reduction*
+        definition never gives: the local value is only a partial
+        contribution, combined at the owner."""
+        return (
+            access.is_def
+            and access.reduction is None
+            and self.is_communicated_array(access.array)
+            and not self.owner_computes
+        )

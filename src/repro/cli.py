@@ -1,0 +1,191 @@
+"""Command-line interface.
+
+::
+
+    python -m repro annotate program.f [--atomic] [--owner-computes]
+                                       [--no-hoist] [--conservative-jumps]
+    python -m repro graph program.f [--dot]
+    python -m repro simulate program.f [--n N] [--latency L] [--branch MODE]
+                                       [--naive] [--overhead O]
+    python -m repro pre program.f
+
+``annotate`` prints the program with balanced READ/WRITE communication
+(the paper's Figure 14 output format); ``graph`` prints the interval
+flow graph (optionally as Graphviz dot); ``simulate`` runs the annotated
+program on the machine model and reports messages/volume/latency;
+``pre`` reports common-subexpression placement under GIVE-N-TAKE, Lazy
+Code Motion, and Morel-Renvoise.
+"""
+
+import argparse
+import sys
+
+from repro.commgen import generate_communication, naive_communication
+from repro.graph.dot import interval_graph_to_dot
+from repro.machine import ConditionPolicy, MachineModel, simulate
+from repro.testing.programs import analyze_source
+from repro.util.errors import ReproError
+
+
+def build_parser():
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GIVE-N-TAKE balanced code placement "
+                    "(von Hanxleden & Kennedy, PLDI 1994)",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    annotate = commands.add_parser(
+        "annotate", help="insert balanced READ/WRITE communication")
+    annotate.add_argument("file", help="mini-Fortran source file ('-' for stdin)")
+    annotate.add_argument("--atomic", action="store_true",
+                          help="atomic operations instead of send/recv pairs")
+    annotate.add_argument("--owner-computes", action="store_true",
+                          help="strict owner-computes rule (no writes/gives)")
+    annotate.add_argument("--no-hoist", action="store_true",
+                          help="never produce on zero-trip paths (§4.1)")
+    annotate.add_argument("--conservative-jumps", action="store_true",
+                          help="§5.3 blocking for AFTER problems with jumps")
+
+    graph = commands.add_parser("graph", help="show the interval flow graph")
+    graph.add_argument("file")
+    graph.add_argument("--dot", action="store_true", help="Graphviz output")
+
+    sim = commands.add_parser("simulate", help="run on the machine model")
+    sim.add_argument("file")
+    sim.add_argument("--n", type=int, default=64, help="loop bound binding")
+    sim.add_argument("--latency", type=float, default=100.0)
+    sim.add_argument("--overhead", type=float, default=10.0,
+                     help="per-message overhead")
+    sim.add_argument("--branch", choices=["always", "never", "random"],
+                     default="always", help="opaque condition policy")
+    sim.add_argument("--naive", action="store_true",
+                     help="use the per-element baseline placement")
+
+    pre = commands.add_parser("pre", help="compare PRE placements")
+    pre.add_argument("file")
+
+    explain = commands.add_parser(
+        "explain", help="dataflow report for the communication problems")
+    explain.add_argument("file")
+    explain.add_argument("--problem", choices=["read", "write", "both"],
+                         default="both")
+    return parser
+
+
+def read_source(path):
+    if path == "-":
+        return sys.stdin.read()
+    with open(path) as handle:
+        return handle.read()
+
+
+def command_annotate(args, out):
+    result = generate_communication(
+        read_source(args.file),
+        owner_computes=args.owner_computes,
+        split_messages=not args.atomic,
+        hoist_zero_trip=not args.no_hoist,
+        after_jumps="conservative" if args.conservative_jumps else "optimistic",
+    )
+    out.write(result.annotated_source())
+    reads, writes = result.communication_count()
+    out.write(f"! {reads} read and {writes} write placements\n")
+
+
+def command_graph(args, out):
+    analyzed = analyze_source(read_source(args.file))
+    if args.dot:
+        out.write(interval_graph_to_dot(analyzed.ifg, analyzed.numbering))
+        out.write("\n")
+        return
+    for node, number in analyzed.numbering.items():
+        level = analyzed.ifg.level(node)
+        marker = "*" if node.synthetic else " "
+        out.write(f"{number:3}{marker} level {level}  {node.kind.value:10} "
+                  f"{node.name}\n")
+    for src, dst, edge_type in analyzed.ifg.edges("CEFJS"):
+        s = "ROOT" if src is analyzed.ifg.root else analyzed.numbering[src]
+        d = "ROOT" if dst is analyzed.ifg.root else analyzed.numbering[dst]
+        out.write(f"  ({s}, {d}) {edge_type.name}\n")
+
+
+def command_simulate(args, out):
+    source = read_source(args.file)
+    if args.naive:
+        result = naive_communication(source)
+    else:
+        result = generate_communication(source)
+    machine = MachineModel(latency=args.latency, message_overhead=args.overhead)
+    metrics = simulate(result.annotated_program, machine, {"n": args.n},
+                       ConditionPolicy(args.branch))
+    out.write(metrics.summary() + "\n")
+
+
+def command_pre(args, out):
+    from repro.pre import (
+        build_cse_problem,
+        gnt_pre_placement,
+        lazy_code_motion,
+        morel_renvoise,
+    )
+    from repro.pre.gnt_pre import lazy_insertion_nodes
+
+    analyzed = analyze_source(read_source(args.file))
+    problem, _ = build_cse_problem(analyzed)
+    if not len(problem.universe):
+        out.write("no candidate expressions found\n")
+        return
+    lcm = lazy_code_motion(analyzed.ifg, problem)
+    mr = morel_renvoise(analyzed.ifg, problem)
+    gnt = gnt_pre_placement(analyzed.ifg, problem)
+    for expression in problem.universe:
+        out.write(f"{expression}:\n")
+        gnt_nodes = lazy_insertion_nodes(gnt, expression)
+        out.write("  GNT evaluates at : "
+                  + (", ".join(n.name for n in gnt_nodes) or "-") + "\n")
+        out.write("  LCM inserts at   : "
+                  + (", ".join(n.name for n in lcm.node_insertions_for(expression))
+                     or "-") + "\n")
+        out.write("  MR inserts at    : "
+                  + (", ".join(n.name for n in mr.node_insertions_for(expression))
+                     or "-") + "\n")
+
+
+def command_explain(args, out):
+    from repro.core.report import solution_report
+
+    result = generate_communication(read_source(args.file))
+    if args.problem in ("read", "both"):
+        out.write(solution_report(result.analyzed, result.read_problem,
+                                  result.read_solution, result.read_placement,
+                                  title="READ problem (BEFORE)"))
+    if args.problem in ("write", "both"):
+        out.write(solution_report(result.analyzed, result.write_problem,
+                                  result.write_solution,
+                                  result.write_placement,
+                                  title="WRITE problem (AFTER)"))
+
+
+COMMANDS = {
+    "annotate": command_annotate,
+    "graph": command_graph,
+    "simulate": command_simulate,
+    "pre": command_pre,
+    "explain": command_explain,
+}
+
+
+def main(argv=None, out=None):
+    out = out if out is not None else sys.stdout
+    args = build_parser().parse_args(argv)
+    try:
+        COMMANDS[args.command](args, out)
+    except (ReproError, OSError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

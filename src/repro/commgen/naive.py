@@ -1,0 +1,77 @@
+"""The naive baseline: element-wise communication at each reference.
+
+This is the left-hand side of the paper's Figure 2: every non-owned
+reference gets its own ``READ_Send``/``READ_Recv`` pair immediately
+before the referencing statement — one message per loop iteration, no
+vectorization, no latency hiding, no reuse across references.
+"""
+
+from repro.analysis.ownership import OwnershipModel
+from repro.analysis.references import collect_accesses
+from repro.lang import ast
+from repro.lang.parser import parse
+from repro.lang.printer import format_program, format_expr
+from repro.lang.symbols import SymbolTable
+from repro.testing.programs import AnalyzedProgram
+
+
+class NaiveResult:
+    """The naively annotated program."""
+
+    def __init__(self, analyzed):
+        self.analyzed = analyzed
+
+    @property
+    def annotated_program(self):
+        return self.analyzed.program
+
+    def annotated_source(self):
+        return format_program(self.analyzed.program)
+
+
+def naive_communication(source, owner_computes=False):
+    """Annotate ``source`` with per-reference element communication."""
+    program = parse(source) if isinstance(source, str) else source
+    analyzed = AnalyzedProgram(program)
+    symbols = SymbolTable.from_program(program)
+    ownership = OwnershipModel(symbols, owner_computes=owner_computes)
+    accesses, _ = collect_accesses(analyzed, symbols)
+
+    inserted = []
+    for access in accesses:
+        stmt = access.node.stmt
+        if stmt is None:
+            continue
+        arg = format_expr(access.ref)
+        if ownership.read_needs_communication(access):
+            inserted.append((stmt, ast.Comm("read", "send", [arg]),
+                             ast.Comm("read", "recv", [arg]), "before"))
+        elif ownership.def_needs_writeback(access):
+            inserted.append((stmt, ast.Comm("write", "send", [arg]),
+                             ast.Comm("write", "recv", [arg]), "after"))
+
+    for stmt, send, recv, where in inserted:
+        body, index = _locate(program, stmt)
+        if where == "before":
+            body.insert(index, recv)
+            body.insert(index, send)
+        else:
+            body.insert(index + 1, recv)
+            body.insert(index + 1, send)
+
+    return NaiveResult(analyzed)
+
+
+def _locate(program, stmt):
+    stack = [program.body]
+    while stack:
+        body = stack.pop()
+        for index, candidate in enumerate(body):
+            if candidate is stmt:
+                return body, index
+            if isinstance(candidate, ast.Do):
+                stack.append(candidate.body)
+            elif isinstance(candidate, ast.If):
+                stack.append(candidate.then_body)
+                stack.append(candidate.else_body)
+    raise LookupError(f"statement {stmt!r} not found")

@@ -1,0 +1,233 @@
+"""Ground-truth validation of placements (paper §3.2).
+
+A placement is replayed along bounded execution paths.  Per element the
+replay tracks:
+
+* ``open`` — an EAGER production started, its LAZY completion pending
+  (a message sent but not yet received);
+* ``avail`` — a completed production (or free GIVE) not destroyed since;
+* ``pending`` — a completed *placed* production not yet consumed (GIVEs
+  don't count: they are free).
+
+Checked criteria:
+
+* **C1 balance** — EAGER/LAZY productions alternate exactly: no double
+  send, no receive without send, nothing left open at path end, and no
+  destruction while a production region is open.
+* **C2 safety** — everything placed is consumed before being destroyed
+  or the path ending.  Productions hoisted out of zero-trip loops
+  violate strict C2 on the zero-trip paths *by design* (the paper
+  accepts overcommunication there); such violations are reported with
+  kind ``"safety"`` and can be ignored via ``report.ok(ignore=...)``.
+* **C3 sufficiency** — every consumption finds the element available.
+* **O1** — no production of an element that is already available.
+
+For AFTER problems paths are replayed in reverse with edge roles
+swapped, exactly mirroring the solver's BackwardView.
+"""
+
+from dataclasses import dataclass
+
+from repro.core.paths import enumerate_paths
+from repro.core.placement import Position
+from repro.core.problem import Direction, Timing
+from repro.graph.interval_graph import EdgeType
+
+
+@dataclass(frozen=True)
+class Violation:
+    """One criterion violation found on one path."""
+
+    kind: str        # "balance" | "safety" | "sufficiency" | "redundant"
+    criterion: str   # "C1" | "C2" | "C3" | "O1"
+    element: object
+    node: object
+    message: str
+    path_index: int
+
+    def __str__(self):
+        return (f"[{self.criterion}/{self.kind}] {self.element} at {self.node}: "
+                f"{self.message} (path #{self.path_index})")
+
+
+class CheckReport:
+    """All violations found over all checked paths."""
+
+    def __init__(self, violations, paths_checked):
+        self.violations = violations
+        self.paths_checked = paths_checked
+
+    def by_kind(self, kind):
+        return [v for v in self.violations if v.kind == kind]
+
+    def by_criterion(self, criterion):
+        """Violations of one paper criterion ("C1", "C2", "C3", "O1")."""
+        return [v for v in self.violations if v.criterion == criterion]
+
+    def ok(self, ignore=()):
+        """True when no violations remain after dropping the listed
+        kinds (e.g. ``ignore=("safety",)`` to permit zero-trip
+        overproduction)."""
+        return not [v for v in self.violations if v.kind not in ignore]
+
+    def summary(self):
+        if not self.violations:
+            return f"OK ({self.paths_checked} paths)"
+        kinds = {}
+        for violation in self.violations:
+            kinds[violation.kind] = kinds.get(violation.kind, 0) + 1
+        detail = ", ".join(f"{k}={n}" for k, n in sorted(kinds.items()))
+        return f"{len(self.violations)} violations ({detail}) over {self.paths_checked} paths"
+
+    def __str__(self):
+        lines = [self.summary()]
+        lines.extend(str(v) for v in self.violations[:20])
+        if len(self.violations) > 20:
+            lines.append(f"... {len(self.violations) - 20} more")
+        return "\n".join(lines)
+
+
+def check_placement(ifg, problem, placement, max_paths=200, max_node_visits=3,
+                    min_trips=0):
+    """Replay ``placement`` on bounded paths of ``ifg``; return a
+    :class:`CheckReport`.
+
+    With the default loop-parametric element semantics (see
+    ``Problem.trust_loop_side_effects``), sufficiency is exact on paths
+    where entered loops run at least once — pass ``min_trips=1`` to
+    restrict to those."""
+    paths = enumerate_paths(ifg, max_paths=max_paths,
+                            max_node_visits=max_node_visits, min_trips=min_trips)
+    violations = []
+    for index, path in enumerate(paths):
+        violations.extend(_replay(ifg, problem, placement, path, index))
+    return CheckReport(violations, len(paths))
+
+
+# ---------------------------------------------------------------------------
+
+
+def _replay(ifg, problem, placement, path, path_index):
+    """Replay one path; return its violations."""
+    direction = problem.direction
+    if direction is Direction.AFTER:
+        steps = list(reversed(path))
+        first_key, second_key = Position.AFTER, Position.BEFORE
+    else:
+        steps = list(path)
+        first_key, second_key = Position.BEFORE, Position.AFTER
+
+    def incoming_is_cycle(i):
+        """Whether the walk arrives at steps[i] along a (view) CYCLE edge
+        — i.e. a loop back edge; header-entry productions are skipped on
+        back-edge arrivals (they live in the preheader position)."""
+        if i == 0:
+            return False
+        if direction is Direction.AFTER:
+            real = ifg.edge_type(steps[i], steps[i - 1])
+            return real is EdgeType.ENTRY  # reversal maps ENTRY -> CYCLE
+        return ifg.edge_type(steps[i - 1], steps[i]) is EdgeType.CYCLE
+
+    def outgoing_is_fj(i):
+        """Whether the walk leaves steps[i] along a (view) FORWARD or
+        JUMP edge — the only edges exit productions (Eq 15) live on."""
+        if i == len(steps) - 1:
+            return False
+        if direction is Direction.AFTER:
+            real = ifg.edge_type(steps[i + 1], steps[i])
+        else:
+            real = ifg.edge_type(steps[i], steps[i + 1])
+        return real in (EdgeType.FORWARD, EdgeType.JUMP)
+
+    state = _State(problem.universe, path_index)
+
+    for i, node in enumerate(steps):
+        if not incoming_is_cycle(i):
+            state.produce_eager(node, placement.bits_at(node, first_key, Timing.EAGER))
+            state.produce_lazy(node, placement.bits_at(node, first_key, Timing.LAZY))
+        state.consume(node, problem.take_init(node))
+        state.give(node, problem.give_init(node))
+        state.steal(node, problem.steal_init(node))
+        if outgoing_is_fj(i):
+            state.produce_eager(node, placement.bits_at(node, second_key, Timing.EAGER))
+            state.produce_lazy(node, placement.bits_at(node, second_key, Timing.LAZY))
+
+    state.finish(steps[-1])
+    return state.violations
+
+
+class _State:
+    """Per-path replay state over bitsets."""
+
+    def __init__(self, universe, path_index):
+        self.universe = universe
+        self.path_index = path_index
+        self.open = 0
+        self.avail = 0
+        self.pending = 0
+        self.violations = []
+
+    def _flag(self, kind, criterion, bits, node, message):
+        for element in self.universe.members(bits):
+            self.violations.append(
+                Violation(kind, criterion, element, node, message, self.path_index)
+            )
+
+    def produce_eager(self, node, bits):
+        if not bits:
+            return
+        double = bits & self.open
+        if double:
+            self._flag("balance", "C1", double, node, "EAGER production while already open")
+        redundant = bits & self.avail
+        if redundant:
+            self._flag("redundant", "O1", redundant, node,
+                       "production of an already available element")
+        self.open |= bits
+
+    def produce_lazy(self, node, bits):
+        if not bits:
+            return
+        unmatched = bits & ~self.open
+        if unmatched:
+            self._flag("balance", "C1", unmatched, node,
+                       "LAZY production without matching EAGER production")
+        self.open &= ~bits
+        self.avail |= bits
+        self.pending |= bits
+
+    def consume(self, node, bits):
+        if not bits:
+            return
+        missing = bits & ~self.avail
+        if missing:
+            self._flag("sufficiency", "C3", missing, node,
+                       "consumption of an unavailable element")
+        self.pending &= ~bits
+
+    def give(self, node, bits):
+        self.avail |= bits
+
+    def steal(self, node, bits):
+        if not bits:
+            return
+        in_region = bits & self.open
+        if in_region:
+            self._flag("balance", "C1", in_region, node,
+                       "destruction inside an open production region")
+            self.open &= ~bits
+        wasted = bits & self.pending
+        if wasted:
+            self._flag("safety", "C2", wasted, node,
+                       "produced element destroyed before any consumption")
+        self.avail &= ~bits
+        self.pending &= ~bits
+
+    def finish(self, last_node):
+        if self.open:
+            self._flag("balance", "C1", self.open, last_node,
+                       "EAGER production never completed by a LAZY production")
+        if self.pending:
+            self._flag("safety", "C2", self.pending, last_node,
+                       "produced element never consumed "
+                       "(expected on zero-trip paths when hoisting is enabled)")

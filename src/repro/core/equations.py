@@ -1,0 +1,229 @@
+"""The fifteen GIVE-N-TAKE equations (paper Figure 13).
+
+Each function computes one equation for one node, reading already-computed
+neighbor values from the :class:`~repro.core.solution.Solution` store.
+The solver (Figure 15) guarantees the evaluation order makes every right
+hand side fully known, so each function is called exactly once per node.
+
+Notation: ``view`` supplies the neighbor relations (``succs(n, "FJS")`` is
+``SUCCS^{FJS}(n)``), ``sol`` the variable store, ``problem`` the initial
+variables.  All set values are bitsets.
+"""
+
+from repro.core.lattice import meet_over, union_over
+
+# --------------------------------------------------------------------------
+# S1 — propagating consumption (Equations 1..8), evaluated in
+# REVERSEPREORDER (backward + upward).
+# --------------------------------------------------------------------------
+
+
+def eq1_steal(problem, view, sol, n):
+    """STEAL(n) = STEAL_init(n) ∪ STEAL_loc(LASTCHILD(n)).
+
+    Two blocking mechanisms inject a whole-universe steal here, both the
+    paper's own prescription of "accordingly initializing STEAL_init":
+
+    * AFTER problems: headers of loops containing a JUMP source — under
+      reversal those jumps enter the loop mid-body, so no production
+      region may span the loop (§5.3);
+    * ``hoist_zero_trip=False``: every loop header, so nothing is ever
+      produced on a zero-trip path (§4.1).  Seeding STEAL (rather than
+      merely skipping Eq 5's hoist terms) blocks the EAGER and LAZY
+      solutions symmetrically, which is what keeps them balanced (C1).
+    """
+    bits = problem.steal_init(n)
+    blocked = view.steal_all(n) or (
+        not problem.hoist_zero_trip
+        and n is not view.root
+        and view.is_header(n)
+    )
+    if blocked:
+        bits |= problem.universe.top
+    lastchild = view.lastchild(n)
+    if lastchild is not None:
+        bits |= sol.bits("STEAL_loc", lastchild)
+    return bits
+
+
+def eq2_give(problem, view, sol, n):
+    """GIVE(n) = GIVE_init(n) ∪ GIVE_loc(LASTCHILD(n)).
+
+    With ``trust_loop_side_effects=False`` the LASTCHILD term is dropped:
+    a potentially zero-trip body's productions are not guaranteed to have
+    happened, so they must not count as available past the loop."""
+    bits = problem.give_init(n)
+    if problem.trust_loop_side_effects:
+        lastchild = view.lastchild(n)
+        if lastchild is not None:
+            bits |= sol.bits("GIVE_loc", lastchild)
+    return bits
+
+
+def eq3_block(problem, view, sol, n):
+    """BLOCK(n) = STEAL(n) ∪ GIVE(n) ∪ ⋃_{s ∈ SUCCS^E(n)} BLOCK_loc(s)."""
+    bits = sol.bits("STEAL", n) | sol.bits("GIVE", n)
+    bits |= union_over(sol.bits("BLOCK_loc", s) for s in view.succs(n, "E"))
+    return bits
+
+
+def eq4_taken_out(problem, view, sol, n):
+    """TAKEN_out(n) = ⋂_{s ∈ SUCCS^{FJS}(n)} TAKEN_in(s).
+
+    SYNTHETIC successors participate so that jumps out of loops cannot
+    skip the only consumer of a hoisted production (safety)."""
+    return meet_over(sol.bits("TAKEN_in", s) for s in view.succs(n, "FJS"))
+
+
+def eq5_take(problem, view, sol, n):
+    """TAKE(n) = TAKE_init(n)
+               ∪ (⋃_{s ∈ SUCCS^E(n)} TAKEN_in(s) − STEAL(n))
+               ∪ ((TAKEN_out(n) ∩ ⋃_{s ∈ SUCCS^E(n)} TAKE_loc(s)) − BLOCK(n)).
+
+    The two ENTRY-successor terms hoist consumption out of the loop body
+    into the header.  Hoist *blocking* (zero-trip loops, §4.1; reversed
+    jumps, §5.3) happens via whole-universe STEAL seeding in Eq 1, which
+    makes both terms vanish here."""
+    bits = problem.take_init(n)
+    entry_succs = view.succs(n, "E")
+    guaranteed = union_over(sol.bits("TAKEN_in", s) for s in entry_succs)
+    bits |= guaranteed & ~sol.bits("STEAL", n)
+    possible = union_over(sol.bits("TAKE_loc", s) for s in entry_succs)
+    bits |= (sol.bits("TAKEN_out", n) & possible) & ~sol.bits("BLOCK", n)
+    return bits
+
+
+def eq6_taken_in(problem, view, sol, n):
+    """TAKEN_in(n) = TAKE(n) ∪ (TAKEN_out(n) − BLOCK(n))."""
+    return sol.bits("TAKE", n) | (sol.bits("TAKEN_out", n) & ~sol.bits("BLOCK", n))
+
+
+def eq7_block_loc(problem, view, sol, n):
+    """BLOCK_loc(n) = (BLOCK(n) ∪ ⋃_{s ∈ SUCCS^F(n)} BLOCK_loc(s)) − TAKE(n)."""
+    bits = sol.bits("BLOCK", n)
+    bits |= union_over(sol.bits("BLOCK_loc", s) for s in view.succs(n, "F"))
+    return bits & ~sol.bits("TAKE", n)
+
+
+def eq8_take_loc(problem, view, sol, n):
+    """TAKE_loc(n) = TAKE(n) ∪ (⋃_{s ∈ SUCCS^{EF}(n)} TAKE_loc(s) − BLOCK(n))."""
+    bits = union_over(sol.bits("TAKE_loc", s) for s in view.succs(n, "EF"))
+    return sol.bits("TAKE", n) | (bits & ~sol.bits("BLOCK", n))
+
+
+# --------------------------------------------------------------------------
+# S2 — blocking consumption (Equations 9, 10), evaluated for the children
+# of each interval in FORWARD order, inside the REVERSEPREORDER sweep.
+# --------------------------------------------------------------------------
+
+
+def eq9_give_loc(problem, view, sol, n):
+    """GIVE_loc(n) = (GIVE(n) ∪ TAKE(n) ∪ ⋂_{p ∈ PREDS^{FJ}(n)} GIVE_loc(p))
+                    − STEAL(n).
+
+    Consumed items count as produced: consumption is guaranteed to be
+    satisfied by a production (C3).
+
+    The predecessor letters come from the view: "FJ" forward; "F" only
+    in the backward view, where reversed jumps are not same-interval
+    flow (see BackwardView.loc_pred_letters)."""
+    bits = sol.bits("GIVE", n) | sol.bits("TAKE", n)
+    bits |= meet_over(
+        sol.bits("GIVE_loc", p) for p in view.preds(n, view.loc_pred_letters)
+    )
+    return bits & ~sol.bits("STEAL", n)
+
+
+def eq10_steal_loc(problem, view, sol, n):
+    """STEAL_loc(n) = STEAL(n)
+                    ∪ ⋃_{p ∈ PREDS^{FJ}(n)} (STEAL_loc(p) − GIVE_loc(p))
+                    ∪ ⋃_{p ∈ PREDS^S(n)} STEAL_loc(p).
+
+    A SYNTHETIC predecessor is the header of a loop that was jumped out
+    of: the loop may have been left mid-iteration, so items it resupplies
+    (GIVE_loc) cannot be excluded.
+
+    As in Eq 9, the edge letters come from the view."""
+    bits = sol.bits("STEAL", n)
+    for p in view.preds(n, view.loc_pred_letters):
+        bits |= sol.bits("STEAL_loc", p) & ~sol.bits("GIVE_loc", p)
+    for p in view.preds(n, view.loc_synthetic_letters):
+        bits |= sol.bits("STEAL_loc", p)
+    return bits
+
+
+# --------------------------------------------------------------------------
+# S3 — placing production (Equations 11..13), evaluated in PREORDER
+# (forward + downward), once per timing.
+# --------------------------------------------------------------------------
+
+
+def eq11_given_in(problem, view, sol, n, timing):
+    """GIVEN_in(n) = GIVEN(HEADER(n))
+                   ∪ ⋂_{p ∈ PREDS^{FJ}(n)} GIVEN_out(p)
+                   ∪ (TAKEN_in(n) ∩ ⋃_{q ∈ PREDS^{FJ}(n)} GIVEN_out(q)).
+
+    The last term makes items available that only *some* predecessors
+    produced, provided they are guaranteed to be consumed — Eq 15 then
+    patches the other predecessors' exits (RES_out) to restore C3.
+
+    Deviation from the paper's literal text (documented in DESIGN.md):
+    the header term subtracts STEAL(HEADER(n)).  Availability inherited
+    from the header holds on the *first* iteration only; an element the
+    loop body steals without resupplying is gone on every later
+    iteration, so passing it into the body violates sufficiency (C3) on
+    multi-trip paths.  STEAL(h) (Eq 1) summarizes exactly the body's
+    unresupplied kills, and the subtraction leaves all of the paper's §4
+    example values unchanged."""
+    header = view.header_of(n)
+    bits = 0
+    if header is not None:
+        bits = sol.bits("GIVEN", header, timing) & ~sol.bits("STEAL", header)
+    fj_preds = view.preds(n, "FJ")
+    bits |= meet_over(sol.bits("GIVEN_out", p, timing) for p in fj_preds)
+    some = union_over(sol.bits("GIVEN_out", q, timing) for q in fj_preds)
+    bits |= sol.bits("TAKEN_in", n) & some
+    return bits
+
+
+def eq12_given(problem, view, sol, n, timing, root):
+    """GIVEN(n) = GIVEN_in(n) ∪ TAKEN_in(n)   (EAGER)
+                = GIVEN_in(n) ∪ TAKE(n)        (LAZY).
+
+    ROOT is not a program point: nothing can be produced there, so its
+    GIVEN is just GIVEN_in (empty) and production lands at the program
+    entry node instead — this is why the paper's §4 examples exclude ROOT.
+    """
+    from repro.core.problem import Timing
+
+    bits = sol.bits("GIVEN_in", n, timing)
+    if n is root:
+        return bits
+    if timing is Timing.EAGER:
+        return bits | sol.bits("TAKEN_in", n)
+    return bits | sol.bits("TAKE", n)
+
+
+def eq13_given_out(problem, view, sol, n, timing):
+    """GIVEN_out(n) = (GIVE(n) ∪ GIVEN(n)) − STEAL(n)."""
+    bits = sol.bits("GIVE", n) | sol.bits("GIVEN", n, timing)
+    return bits & ~sol.bits("STEAL", n)
+
+
+# --------------------------------------------------------------------------
+# S4 — result variables (Equations 14, 15), any order after S1 and S3.
+# --------------------------------------------------------------------------
+
+
+def eq14_res_in(problem, view, sol, n, timing):
+    """RES_in(n) = GIVEN(n) − GIVEN_in(n): production generated at the
+    entry of n (exit for AFTER problems)."""
+    return sol.bits("GIVEN", n, timing) & ~sol.bits("GIVEN_in", n, timing)
+
+
+def eq15_res_out(problem, view, sol, n, timing):
+    """RES_out(n) = ⋃_{s ∈ SUCCS^{FJ}(n)} GIVEN_in(s) − GIVEN_out(n):
+    production at the exit of n for items a *sibling* predecessor of a
+    successor made available (balance patching; see Eq 11)."""
+    bits = union_over(sol.bits("GIVEN_in", s, timing) for s in view.succs(n, "FJ"))
+    return bits & ~sol.bits("GIVEN_out", n, timing)

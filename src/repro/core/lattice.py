@@ -1,0 +1,114 @@
+"""The dataflow universe and its powerset lattice.
+
+GIVE-N-TAKE is a *set* framework: every dataflow variable holds a subset
+of a finite universe of elements (array portions identified by subscript
+value numbers in the communication instance; expressions in the PRE
+instance).  Elements are interned into a :class:`Universe` and sets are
+plain Python integers used as bitsets — union is ``|``, intersection
+``&``, difference ``& ~``.
+
+The paper's convention that an equation asking for absent neighbors gets
+the *empty* set — even for intersections — is implemented by
+:func:`meet_over`.
+"""
+
+from repro.util.errors import SolverError
+
+
+class Universe:
+    """An interned, ordered universe of dataflow elements.
+
+    Elements may be any hashable objects; their string form is used for
+    stable printing.  ``bit(e)`` gives the singleton bitset of ``e``.
+    """
+
+    def __init__(self, elements=()):
+        self._index = {}
+        self._elements = []
+        for element in elements:
+            self.add(element)
+
+    def add(self, element):
+        """Intern ``element``; return its index (idempotent)."""
+        if element in self._index:
+            return self._index[element]
+        index = len(self._elements)
+        self._index[element] = index
+        self._elements.append(element)
+        return index
+
+    def __len__(self):
+        return len(self._elements)
+
+    def __contains__(self, element):
+        return element in self._index
+
+    def __iter__(self):
+        return iter(self._elements)
+
+    def index(self, element):
+        try:
+            return self._index[element]
+        except KeyError:
+            raise SolverError(f"element {element!r} is not in the universe") from None
+
+    def element(self, index):
+        return self._elements[index]
+
+    def bit(self, element):
+        """The singleton bitset containing ``element``."""
+        return 1 << self.index(element)
+
+    def bits(self, elements):
+        """The bitset containing all of ``elements``."""
+        result = 0
+        for element in elements:
+            result |= self.bit(element)
+        return result
+
+    @property
+    def bottom(self):
+        """⊥ — the empty set."""
+        return 0
+
+    @property
+    def top(self):
+        """⊤ — the whole universe."""
+        return (1 << len(self._elements)) - 1
+
+    def members(self, bits):
+        """The elements of a bitset, in universe order."""
+        result = []
+        index = 0
+        while bits:
+            if bits & 1:
+                result.append(self._elements[index])
+            bits >>= 1
+            index += 1
+        return result
+
+    def frozen(self, bits):
+        """The elements of a bitset as a frozenset (handy in tests)."""
+        return frozenset(self.members(bits))
+
+    def format(self, bits):
+        """Stable ``{a, b}`` rendering of a bitset."""
+        rendered = ", ".join(str(e) for e in self.members(bits))
+        return "{" + rendered + "}"
+
+
+def union_over(values):
+    """⋃ of an iterable of bitsets (empty iterable → ⊥)."""
+    result = 0
+    for value in values:
+        result |= value
+    return result
+
+
+def meet_over(values):
+    """⋂ of an iterable of bitsets, with the paper's convention that the
+    meet over *no* neighbors is the empty set (not ⊤)."""
+    result = None
+    for value in values:
+        result = value if result is None else (result & value)
+    return 0 if result is None else result

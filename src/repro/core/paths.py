@@ -1,0 +1,59 @@
+"""Bounded execution-path enumeration.
+
+The checker validates placements by *replaying* them along actual control
+flow paths.  :func:`enumerate_paths` yields entry→exit node sequences over
+the real CFG edges, visiting each node at most ``max_node_visits`` times
+per path (so every loop is exercised with 0, 1, … trips) and yielding at
+most ``max_paths`` paths.
+
+Paths are deterministic: successors are explored in edge insertion order.
+"""
+
+
+def enumerate_paths(ifg, max_paths=200, max_node_visits=3, min_trips=0):
+    """List of entry→exit paths (each a list of nodes) of ``ifg``'s CFG.
+
+    ``min_trips=1`` restricts to paths on which every loop that is
+    *entered* executes its body at least once — the paths on which the
+    paper's loop-parametric availability claims are exact (a zero-trip
+    loop's sections are empty, see DESIGN.md).
+    """
+    cfg = ifg.cfg
+    forest = ifg.forest
+    paths = []
+    counts = {node: 0 for node in cfg.nodes()}
+    path = [cfg.entry]
+    counts[cfg.entry] = 1
+
+    def allowed_succs(node, arrived_externally):
+        succs = cfg.succs(node)
+        if min_trips and forest.is_header(node) and arrived_externally:
+            # Fresh loop entry: force at least one trip through the body.
+            return [s for s in succs if forest.contains(node, s)]
+        return succs
+
+    def explore(node):
+        if len(paths) >= max_paths:
+            return
+        if node is cfg.exit:
+            paths.append(list(path))
+            return
+        previous = path[-2] if len(path) > 1 else None
+        arrived_externally = previous is None or not forest.contains(node, previous)
+        for succ in allowed_succs(node, arrived_externally):
+            if counts[succ] >= max_node_visits:
+                continue
+            counts[succ] += 1
+            path.append(succ)
+            explore(succ)
+            path.pop()
+            counts[succ] -= 1
+
+    explore(cfg.entry)
+    return paths
+
+
+def path_edge_types(ifg, path):
+    """Edge types along a path: ``types[i]`` is the type of the edge
+    ``(path[i], path[i+1])``."""
+    return [ifg.edge_type(path[i], path[i + 1]) for i in range(len(path) - 1)]

@@ -1,0 +1,75 @@
+"""Shifting production off synthetic nodes (paper §5.4).
+
+Production placed at a synthetic node requires a new basic block at code
+generation time (a landing pad, a fresh ``else`` branch).  Often the
+production can instead be merged into an adjacent real node without
+changing the set of paths it executes on:
+
+* into ``BEFORE(succ)`` when the synthetic node is the successor's only
+  non-back-edge predecessor (all executions of ``succ``'s preheader
+  position pass through the synthetic node), or
+* into ``AFTER(pred)`` when the synthetic node is the predecessor's only
+  successor.
+
+The pass runs backward over the graph, mirroring the paper's
+implementation, and leaves productions in place when no conflict-free
+shift exists (the annotator then materializes a block).
+"""
+
+from repro.core.placement import Position
+from repro.core.problem import Timing
+from repro.graph.interval_graph import EdgeType
+
+
+def shift_synthetic_productions(placement):
+    """Shift productions off synthetic nodes where possible, in place.
+
+    Returns the list of (synthetic_node, target_node) moves performed.
+    """
+    ifg = placement.ifg
+    cfg = ifg.cfg
+    moves = []
+    for node in reversed(cfg.nodes()):
+        if not node.synthetic:
+            continue
+        has_production = any(
+            placement.bits_at(node, position, timing)
+            for position in Position
+            for timing in Timing
+        )
+        if not has_production:
+            continue
+        target = _shift_target(ifg, node)
+        if target is None:
+            continue
+        target_node, target_position = target
+        for position in Position:
+            for timing in Timing:
+                placement.move(node, position, timing, target_node, target_position)
+        moves.append((node, target_node))
+    return moves
+
+
+def _shift_target(ifg, node):
+    """Where production at synthetic ``node`` may move, or None.
+
+    Synthetic nodes from critical-edge splits have exactly one real
+    predecessor and one real successor; both positions of the empty node
+    denote the same execution point, so any qualifying neighbor works.
+    """
+    cfg = ifg.cfg
+    succs = cfg.succs(node)
+    preds = cfg.preds(node)
+    if len(succs) == 1:
+        succ = succs[0]
+        non_cycle_preds = [
+            p for p in cfg.preds(succ)
+            if ifg.edge_type(p, succ) is not EdgeType.CYCLE
+        ]
+        if non_cycle_preds == [node]:
+            return succ, Position.BEFORE
+    if len(preds) == 1:
+        pred = preds[0]
+        if cfg.succs(pred) == [node]:
+            return pred, Position.AFTER
+    return None

@@ -1,0 +1,94 @@
+"""Resource-pressure control: capping production region spans (§6).
+
+The paper: "the computations compete for resources, like registers or
+message buffers ... certain extensions (such as a heuristic for
+inserting additional STEAL_init's which blocks production) could help to
+solve this conflict."
+
+This module implements that heuristic.  A production region (from the
+EAGER start to the LAZY completion) occupies a resource — a message
+buffer, a register — for its whole extent.  :func:`limit_production_span`
+iteratively measures each element's span in PREORDER distance and, where
+it exceeds ``max_span``, injects a ``STEAL_init`` at an intermediate node,
+forcing the solver to start production later.  Steals only ever *delay*
+production, so every intermediate solution still satisfies C1/C3; the
+trade is shorter buffer lifetimes against less latency hiding (and
+possibly re-production).
+"""
+
+from repro.core.placement import Placement
+from repro.core.problem import Timing
+from repro.core.solver import solve
+from repro.graph.traversal import preorder
+
+
+def measure_spans(ifg, placement):
+    """Per-element region spans, in PREORDER distance.
+
+    Returns a dict element -> (span, eager_node, lazy_node) for the
+    widest region of each element (first EAGER site to last LAZY site).
+    """
+    position = {node: i for i, node in enumerate(preorder(ifg))}
+    spans = {}
+    eager_first = {}
+    lazy_last = {}
+    for production in placement.productions():
+        for element in production.elements:
+            pos = position[production.node]
+            if production.timing is Timing.EAGER:
+                if element not in eager_first or pos < position[eager_first[element]]:
+                    eager_first[element] = production.node
+            else:
+                if element not in lazy_last or pos > position[lazy_last[element]]:
+                    lazy_last[element] = production.node
+    for element, eager_node in eager_first.items():
+        lazy_node = lazy_last.get(element)
+        if lazy_node is None:
+            continue
+        span = position[lazy_node] - position[eager_node]
+        spans[element] = (span, eager_node, lazy_node)
+    return spans
+
+
+def limit_production_span(ifg, problem, max_span, max_rounds=8):
+    """Re-solve ``problem`` until no production region spans more than
+    ``max_span`` PREORDER positions (or rounds are exhausted).
+
+    Mutates ``problem`` by adding blocking steals; returns the final
+    (solution, placement, rounds_used).
+    """
+    order = [n for n in preorder(ifg) if n is not ifg.root]
+    position = {node: i for i, node in enumerate(order)}
+
+    solution = solve(ifg, problem)
+    placement = Placement(ifg, problem, solution)
+    for round_number in range(1, max_rounds + 1):
+        too_wide = []
+        for element, (span, eager_node, lazy_node) in measure_spans(
+                ifg, placement).items():
+            if span > max_span:
+                too_wide.append((element, eager_node, lazy_node))
+        if not too_wide:
+            return solution, placement, round_number - 1
+        for element, eager_node, lazy_node in too_wide:
+            blocker = _blocking_node(order, position, eager_node, lazy_node,
+                                     max_span)
+            if blocker is not None:
+                problem.add_steal(blocker, element)
+        solution = solve(ifg, problem)
+        placement = Placement(ifg, problem, solution)
+    return solution, placement, max_rounds
+
+
+def _blocking_node(order, position, eager_node, lazy_node, max_span):
+    """A node shortly after the region start where a steal will force
+    production to restart later.  Never the lazy node itself (that
+    would destroy the element the moment it completes)."""
+    start = position.get(eager_node)
+    end = position.get(lazy_node)
+    if start is None or end is None:
+        return None
+    target = min(start + max(1, max_span // 2), end - 1)
+    if target <= start:
+        return None
+    return order[target]

@@ -1,0 +1,131 @@
+"""Problem descriptions for the GIVE-N-TAKE solver.
+
+A :class:`Problem` bundles the dataflow universe, the problem direction,
+and the three *initial variables* of §4.1:
+
+* ``TAKE_init(n)`` — the consumers at node ``n``;
+* ``STEAL_init(n)`` — elements whose production is voided at ``n``
+  (destroyers, and optionally zero-trip-hoisting blockers at headers);
+* ``GIVE_init(n)`` — elements produced at ``n`` for free (side effects).
+
+Timing (EAGER vs LAZY) is not part of the problem: the solver always
+computes both solutions, since balance (C1) is defined between them.
+"""
+
+from enum import Enum
+
+from repro.core.lattice import Universe
+from repro.util.errors import SolverError
+
+
+class Direction(Enum):
+    """BEFORE: produce before consumption (fetch-like, e.g. READs).
+    AFTER: produce after consumption (store-like, e.g. WRITEs)."""
+
+    BEFORE = "before"
+    AFTER = "after"
+
+
+class Timing(Enum):
+    """EAGER: production as early as possible (e.g. sends, for BEFORE).
+    LAZY: production as late as possible (e.g. receives, for BEFORE)."""
+
+    EAGER = "eager"
+    LAZY = "lazy"
+
+
+class Problem:
+    """One GIVE-N-TAKE instance over an interval flow graph's nodes."""
+
+    def __init__(self, universe=None, direction=Direction.BEFORE,
+                 hoist_zero_trip=True, trust_loop_side_effects=True):
+        self.universe = universe if universe is not None else Universe()
+        self.direction = direction
+        #: Hoist consumption out of potentially zero-trip loops (§4.1).
+        #: When False, every loop header behaves as if production were
+        #: blocked there, so nothing is produced on zero-trip paths
+        #: (strict C2) at the cost of producing inside loops.
+        self.hoist_zero_trip = hoist_zero_trip
+        #: Treat production happening inside a loop body (GIVEs and
+        #: satisfied consumption) as available after the loop.  True
+        #: matches the paper, whose universe elements are loop-parametric
+        #: (a zero-trip loop's sections are empty, so the claim is
+        #: vacuously safe).  Set False for atomic elements to get strict
+        #: sufficiency (C3) even on zero-trip paths.
+        self.trust_loop_side_effects = trust_loop_side_effects
+        self._take_init = {}
+        self._steal_init = {}
+        self._give_init = {}
+        self._steal_all = set()  # nodes stealing the *whole* universe,
+        # resolved lazily so the universe may keep growing after the call
+
+    # -- population -------------------------------------------------------
+
+    def add_take(self, node, *elements):
+        """Record consumption of ``elements`` at ``node``."""
+        self._add(self._take_init, node, elements)
+
+    def add_steal(self, node, *elements):
+        """Record destruction of ``elements`` at ``node``."""
+        self._add(self._steal_init, node, elements)
+
+    def add_give(self, node, *elements):
+        """Record free production of ``elements`` at ``node``."""
+        self._add(self._give_init, node, elements)
+
+    def _add(self, store, node, elements):
+        bits = 0
+        for element in elements:
+            self.universe.add(element)
+            bits |= self.universe.bit(element)
+        store[node] = store.get(node, 0) | bits
+
+    def block_hoisting(self, header, elements=None):
+        """Prevent hoisting production out of the loop headed by
+        ``header`` (paper §4.1): seed ``STEAL_init(header)`` with
+        ``elements`` (default: the whole universe).
+
+        Use this to disable zero-trip hoisting case-by-case when
+        producing on a zero-trip path would be unsafe rather than merely
+        wasteful.
+        """
+        if elements is None:
+            self._steal_all.add(header)
+        else:
+            self._add(self._steal_init, header, elements)
+
+    # -- access -------------------------------------------------------------
+
+    def take_init(self, node):
+        return self._take_init.get(node, 0)
+
+    def steal_init(self, node):
+        bits = self._steal_init.get(node, 0)
+        if node in self._steal_all:
+            bits |= self.universe.top
+        return bits
+
+    def give_init(self, node):
+        return self._give_init.get(node, 0)
+
+    def annotated_nodes(self):
+        """All nodes with a nonempty initial variable."""
+        nodes = []
+        seen = set()
+        for store in (self._take_init, self._steal_init, self._give_init):
+            for node, bits in store.items():
+                if bits and node not in seen:
+                    seen.add(node)
+                    nodes.append(node)
+        for node in self._steal_all:
+            if node not in seen:
+                seen.add(node)
+                nodes.append(node)
+        return nodes
+
+    def validate_against(self, view):
+        """Check every annotated node belongs to the analyzed graph."""
+        known = set(view.nodes_preorder())
+        for node in self.annotated_nodes():
+            if node not in known:
+                raise SolverError(f"initial variables reference foreign node {node}")

@@ -1,0 +1,112 @@
+"""A naive fixpoint solver — the correctness oracle for *GiveNTake*.
+
+The paper's §5 argues that an evaluation order exists in which every
+equation's right hand side is fully known, so each equation needs to be
+evaluated exactly once ("fastness" in the sense of Graham & Wegman).
+This module deliberately ignores that insight: it evaluates all fifteen
+equations for all nodes, over and over, until nothing changes.
+
+Because the equation dependencies are acyclic (consumption flows
+backward/upward, production forward/downward), the fixpoint is unique —
+so the iterative result must equal the one-pass result *exactly*, for
+every variable at every node.  The property tests check that on random
+programs; the benchmark shows what the elimination order buys.
+"""
+
+from repro.core import equations as eq
+from repro.core.problem import Timing
+from repro.core.solution import SHARED_VARIABLES, TIMED_VARIABLES, Solution
+from repro.core.solver import make_view
+from repro.util.errors import SolverError
+
+
+def solve_iterative(ifg, problem, view=None, max_rounds=1000):
+    """Solve by chaotic iteration to the (unique) fixpoint."""
+    if view is None:
+        view = make_view(ifg, problem.direction)
+    problem.validate_against(view)
+    solution = Solution(problem, view)
+    nodes = view.nodes_preorder()
+    root = view.root
+
+    shared_updates = [
+        ("GIVE_loc", lambda n: eq.eq9_give_loc(problem, view, solution, n)),
+        ("STEAL_loc", lambda n: eq.eq10_steal_loc(problem, view, solution, n)),
+        ("STEAL", lambda n: eq.eq1_steal(problem, view, solution, n)),
+        ("GIVE", lambda n: eq.eq2_give(problem, view, solution, n)),
+        ("BLOCK", lambda n: eq.eq3_block(problem, view, solution, n)),
+        ("TAKEN_out", lambda n: eq.eq4_taken_out(problem, view, solution, n)),
+        ("TAKE", lambda n: eq.eq5_take(problem, view, solution, n)),
+        ("TAKEN_in", lambda n: eq.eq6_taken_in(problem, view, solution, n)),
+        ("BLOCK_loc", lambda n: eq.eq7_block_loc(problem, view, solution, n)),
+        ("TAKE_loc", lambda n: eq.eq8_take_loc(problem, view, solution, n)),
+    ]
+
+    _iterate(solution, nodes, shared_updates, None, max_rounds)
+
+    for timing in Timing:
+        timed_updates = [
+            ("GIVEN_in",
+             lambda n, t=timing: eq.eq11_given_in(problem, view, solution, n, t)),
+            ("GIVEN",
+             lambda n, t=timing: eq.eq12_given(problem, view, solution, n, t, root)),
+            ("GIVEN_out",
+             lambda n, t=timing: eq.eq13_given_out(problem, view, solution, n, t)),
+            ("RES_in",
+             lambda n, t=timing: eq.eq14_res_in(problem, view, solution, n, t)),
+            ("RES_out",
+             lambda n, t=timing: eq.eq15_res_out(problem, view, solution, n, t)),
+        ]
+        _iterate(solution, nodes, timed_updates, timing, max_rounds)
+    return solution
+
+
+def _iterate(solution, nodes, updates, timing, max_rounds):
+    for _ in range(max_rounds):
+        changed = False
+        for node in nodes:
+            # S2 variables are only defined for children (not ROOT);
+            # evaluating them for ROOT is harmless (no one reads them),
+            # but we skip to mirror the one-pass solver's store exactly.
+            for name, compute in updates:
+                if timing is None and name in ("GIVE_loc", "STEAL_loc") \
+                        and node is solution.view.root:
+                    continue
+                new_bits = compute(node)
+                if new_bits != solution.bits(name, node, timing):
+                    solution.set_bits(name, node, new_bits, timing)
+                    changed = True
+        if not changed:
+            return
+    raise SolverError("fixpoint iteration did not converge "
+                      f"within {max_rounds} rounds")
+
+
+def solutions_equal(first, second, nodes):
+    """Exact equality of every variable at every node."""
+    for node in nodes:
+        for name in SHARED_VARIABLES:
+            if first.bits(name, node) != second.bits(name, node):
+                return False
+        for timing in Timing:
+            for name in TIMED_VARIABLES:
+                if first.bits(name, node, timing) != second.bits(name, node, timing):
+                    return False
+    return True
+
+
+def differences(first, second, nodes):
+    """Human-readable list of variable mismatches (for debugging)."""
+    result = []
+    for node in nodes:
+        for name in SHARED_VARIABLES:
+            a, b = first.bits(name, node), second.bits(name, node)
+            if a != b:
+                result.append((name, node, a, b))
+        for timing in Timing:
+            for name in TIMED_VARIABLES:
+                a = first.bits(name, node, timing)
+                b = second.bits(name, node, timing)
+                if a != b:
+                    result.append((f"{name}^{timing.value}", node, a, b))
+    return result

@@ -1,0 +1,93 @@
+"""Human-readable reports of solved instances.
+
+Renders the §4-style listings the paper uses (``y_b ∈ STEAL({2,3})``),
+the production placements, and the region spans — the debugging view a
+compiler writer wants when adopting the framework.
+"""
+
+from repro.core.pressure import measure_spans
+from repro.core.problem import Timing
+from repro.core.solution import SHARED_VARIABLES, TIMED_VARIABLES
+
+
+def membership_listing(analyzed, solution, variables=None, timings=None):
+    """Paper-style membership lines: ``element ∈ VAR({nodes...})``."""
+    universe = solution.problem.universe
+    variables = variables or (list(SHARED_VARIABLES) + list(TIMED_VARIABLES))
+    lines = []
+    for name in variables:
+        timed = name in TIMED_VARIABLES
+        for timing in (timings or list(Timing)) if timed else [None]:
+            for element in universe:
+                nodes = solution.nodes_with(name, element, timing)
+                numbers = analyzed.numbers(nodes)
+                if not numbers:
+                    continue
+                tag = f"{name}^{timing.value}" if timing else name
+                joined = ", ".join(str(n) for n in numbers)
+                lines.append(f"{element} ∈ {tag}({{{joined}}})")
+    return lines
+
+
+def placement_listing(analyzed, placement):
+    """One line per production: where, when, what."""
+    lines = []
+    for production in placement.productions():
+        number = analyzed.numbering.get(production.node, "?")
+        elements = ", ".join(sorted(str(e) for e in production.elements))
+        lines.append(
+            f"node {number:>3} {production.position.value:<6} "
+            f"{production.timing.value:<5} {{{elements}}}  "
+            f"[{production.node.name}]"
+        )
+    return lines
+
+
+def span_listing(analyzed, placement):
+    """Region spans per element (EAGER start → LAZY end, PREORDER
+    distance) — what the §6 pressure heuristic caps."""
+    lines = []
+    for element, (span, eager_node, lazy_node) in sorted(
+            measure_spans(analyzed.ifg, placement).items(), key=lambda i: str(i[0])):
+        eager = analyzed.numbering.get(eager_node, "?")
+        lazy = analyzed.numbering.get(lazy_node, "?")
+        lines.append(f"{element}: span {span} (node {eager} → node {lazy})")
+    return lines
+
+
+def solution_report(analyzed, problem, solution, placement=None, title=""):
+    """The full report as one string."""
+    sections = []
+    if title:
+        sections.append(f"=== {title} ===")
+    sections.append("universe: "
+                    + (", ".join(str(e) for e in problem.universe) or "(empty)"))
+
+    init_lines = []
+    for node in problem.annotated_nodes():
+        number = analyzed.numbering.get(node, "?")
+        parts = []
+        for label, bits in (("take", problem.take_init(node)),
+                            ("steal", problem.steal_init(node)),
+                            ("give", problem.give_init(node))):
+            if bits:
+                parts.append(f"{label}={problem.universe.format(bits)}")
+        init_lines.append(f"  node {number:>3} [{node.name}]: " + " ".join(parts))
+    sections.append("initial variables:\n" + ("\n".join(init_lines) or "  (none)"))
+
+    memberships = membership_listing(
+        analyzed, solution,
+        variables=["STEAL", "GIVE", "TAKE", "TAKEN_in", "GIVEN", "RES_in",
+                   "RES_out"])
+    sections.append("dataflow (paper-style listings):\n"
+                    + ("\n".join("  " + line for line in memberships) or "  (none)"))
+
+    if placement is not None:
+        placements = placement_listing(analyzed, placement)
+        sections.append("placements:\n"
+                        + ("\n".join("  " + line for line in placements)
+                           or "  (none)"))
+        spans = span_listing(analyzed, placement)
+        sections.append("region spans:\n"
+                        + ("\n".join("  " + line for line in spans) or "  (none)"))
+    return "\n".join(sections) + "\n"

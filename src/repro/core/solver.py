@@ -1,0 +1,127 @@
+"""Algorithm *GiveNTake* (paper Figure 15).
+
+The equations partition into four sets evaluated in three sweeps::
+
+    forall n ∈ N, in REVERSEPREORDER:
+        forall c ∈ CHILDREN(n), in FORWARD order:
+            compute Equations 9, 10          (S2 — blocking consumption)
+        compute Equations 1..8               (S1 — propagating consumption)
+    forall n ∈ N, in PREORDER:
+        compute Equations 11..13             (S3 — placing production)
+    forall n ∈ N:
+        compute Equations 14, 15             (S4 — result variables)
+
+Every equation is evaluated exactly once per node, which gives the O(E)
+complexity of §5.2.  S1/S2 are timing-independent; S3/S4 run once for
+EAGER and once for LAZY.
+
+The solver is direction-agnostic: pass a
+:class:`~repro.graph.views.ForwardView` for BEFORE problems or a
+:class:`~repro.graph.views.BackwardView` for AFTER problems.
+"""
+
+from repro.core import equations as eq
+from repro.core.problem import Direction, Timing
+from repro.core.solution import Solution
+from repro.graph.views import BackwardView, ForwardView
+from repro.util.errors import SolverError
+
+
+class GiveNTakeSolver:
+    """Stateful solver; :func:`solve` is the usual entry point."""
+
+    def __init__(self, view, problem):
+        self.view = view
+        self.problem = problem
+        problem.validate_against(view)
+        self.solution = Solution(problem, view)
+
+    def run(self):
+        self._sweep_consumption()
+        if self.view.requires_consumption_iteration:
+            # Backward views with jumps: repeat until the fixpoint (at
+            # most one extra round per crossed nesting level, see
+            # BackwardView.requires_consumption_iteration).
+            max_rounds = max(
+                (self.view.ifg.level(m) for m, _ in self.view.ifg.jump_edges()),
+                default=0,
+            ) + 1
+            for _ in range(max_rounds):
+                if not self._sweep_consumption():
+                    break
+        for timing in Timing:
+            self._sweep_production(timing)
+            self._sweep_results(timing)
+        return self.solution
+
+    # -- sweeps ------------------------------------------------------------
+
+    def _sweep_consumption(self):
+        """One REVERSEPREORDER S1/S2 sweep; returns whether anything
+        changed (used by the backward-with-jumps iteration)."""
+        view, problem, sol = self.view, self.problem, self.solution
+        changed = False
+
+        def put(name, node, bits):
+            nonlocal changed
+            if sol.bits(name, node) != bits:
+                sol.set_bits(name, node, bits)
+                changed = True
+
+        for n in view.nodes_reverse_preorder():
+            for c in view.children(n):
+                put("GIVE_loc", c, eq.eq9_give_loc(problem, view, sol, c))
+                put("STEAL_loc", c, eq.eq10_steal_loc(problem, view, sol, c))
+            put("STEAL", n, eq.eq1_steal(problem, view, sol, n))
+            put("GIVE", n, eq.eq2_give(problem, view, sol, n))
+            put("BLOCK", n, eq.eq3_block(problem, view, sol, n))
+            put("TAKEN_out", n, eq.eq4_taken_out(problem, view, sol, n))
+            put("TAKE", n, eq.eq5_take(problem, view, sol, n))
+            put("TAKEN_in", n, eq.eq6_taken_in(problem, view, sol, n))
+            put("BLOCK_loc", n, eq.eq7_block_loc(problem, view, sol, n))
+            put("TAKE_loc", n, eq.eq8_take_loc(problem, view, sol, n))
+        return changed
+
+    def _sweep_production(self, timing):
+        view, problem, sol = self.view, self.problem, self.solution
+        root = view.root
+        for n in view.nodes_preorder():
+            sol.set_bits(
+                "GIVEN_in", n, eq.eq11_given_in(problem, view, sol, n, timing), timing
+            )
+            sol.set_bits(
+                "GIVEN", n, eq.eq12_given(problem, view, sol, n, timing, root), timing
+            )
+            sol.set_bits(
+                "GIVEN_out", n, eq.eq13_given_out(problem, view, sol, n, timing), timing
+            )
+
+    def _sweep_results(self, timing):
+        view, problem, sol = self.view, self.problem, self.solution
+        for n in view.nodes_preorder():
+            sol.set_bits(
+                "RES_in", n, eq.eq14_res_in(problem, view, sol, n, timing), timing
+            )
+            sol.set_bits(
+                "RES_out", n, eq.eq15_res_out(problem, view, sol, n, timing), timing
+            )
+
+
+def make_view(ifg, direction):
+    """The view matching a problem direction."""
+    if direction is Direction.BEFORE:
+        return ForwardView(ifg)
+    if direction is Direction.AFTER:
+        return BackwardView(ifg)
+    raise SolverError(f"unknown direction {direction!r}")
+
+
+def solve(ifg, problem, view=None):
+    """Solve ``problem`` on interval flow graph ``ifg``.
+
+    Returns the :class:`~repro.core.solution.Solution` holding all
+    dataflow variables, including the EAGER and LAZY result variables.
+    """
+    if view is None:
+        view = make_view(ifg, problem.direction)
+    return GiveNTakeSolver(view, problem).run()

@@ -1,0 +1,40 @@
+"""Flow graphs for GIVE-N-TAKE.
+
+The pipeline is::
+
+    AST --builder--> ControlFlowGraph --normalize--> (reducible, unique
+    latch & body entry, no critical edges) --IntervalFlowGraph--> edge
+    classification (ENTRY/CYCLE/JUMP/FORWARD/SYNTHETIC), Tarjan intervals,
+    traversal orders, and the Forward/Backward views the solver runs on.
+"""
+
+from repro.graph.cfg import ControlFlowGraph, Node, NodeKind
+from repro.graph.builder import build_cfg
+from repro.graph.normalize import normalize, validate_normalized
+from repro.graph.intervals import (
+    compute_dominators,
+    find_back_edges,
+    LoopForest,
+    check_reducible,
+)
+from repro.graph.interval_graph import IntervalFlowGraph, EdgeType
+from repro.graph.views import ForwardView, BackwardView
+from repro.graph.pipeline import interval_graph_for_program
+
+__all__ = [
+    "ControlFlowGraph",
+    "Node",
+    "NodeKind",
+    "build_cfg",
+    "normalize",
+    "validate_normalized",
+    "compute_dominators",
+    "find_back_edges",
+    "LoopForest",
+    "check_reducible",
+    "IntervalFlowGraph",
+    "EdgeType",
+    "ForwardView",
+    "BackwardView",
+    "interval_graph_for_program",
+]

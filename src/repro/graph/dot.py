@@ -1,0 +1,51 @@
+"""Graphviz export for flow graphs, mirroring the paper's Figure 12 style:
+synthetic nodes and synthetic edges are dashed, edges are labeled with
+their classification (ENTRY / CYCLE / JUMP; FORWARD edges are unlabeled).
+"""
+
+from repro.graph.interval_graph import EdgeType
+
+
+def cfg_to_dot(cfg, title="cfg"):
+    """Render a plain CFG (no classification) as DOT text."""
+    lines = [f"digraph {title} {{", "  node [shape=box];"]
+    for node in cfg.nodes():
+        style = ', style=dashed' if node.synthetic else ""
+        lines.append(f'  n{node.id} [label="{node.id}: {_escape(node.name)}"{style}];')
+    for src, dst in cfg.edges():
+        lines.append(f"  n{src.id} -> n{dst.id};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def interval_graph_to_dot(ifg, numbering=None, title="interval_flow_graph"):
+    """Render an interval flow graph with edge classification as DOT text.
+
+    ``numbering`` optionally maps nodes to display numbers (e.g. the
+    PREORDER numbering); node ids are used otherwise.
+    """
+    def display(node):
+        if numbering and node in numbering:
+            return str(numbering[node])
+        return "ROOT" if node is ifg.root else str(node.id)
+
+    lines = [f"digraph {title} {{", "  node [shape=box];"]
+    for node in ifg.nodes():
+        synthetic = node is not ifg.root and node.synthetic
+        style = ", style=dashed" if synthetic else ""
+        name = "" if node is ifg.root else f": {_escape(node.name)}"
+        lines.append(f'  n{node.id} [label="{display(node)}{name}"{style}];')
+    for src, dst, edge_type in ifg.edges("CEFJS"):
+        attributes = []
+        if edge_type is EdgeType.SYNTHETIC:
+            attributes.append("style=dashed")
+        if edge_type is not EdgeType.FORWARD:
+            attributes.append(f'label="{edge_type.name}"')
+        suffix = f" [{', '.join(attributes)}]" if attributes else ""
+        lines.append(f"  n{src.id} -> n{dst.id}{suffix};")
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def _escape(text):
+    return text.replace("\\", "\\\\").replace('"', '\\"')

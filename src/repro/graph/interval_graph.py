@@ -1,0 +1,209 @@
+"""The interval flow graph ``G = (N, E)`` of the paper (§3.3–3.4).
+
+Wraps a normalized CFG and its loop forest, adds the virtual ``ROOT``
+(level 0, header of the whole program, with a pseudo ENTRY edge to the
+program entry and a pseudo CYCLE edge from the program exit), classifies
+every edge as ENTRY / CYCLE / JUMP / FORWARD, and materializes the
+SYNTHETIC edges induced by JUMP edges: for every interval ``T(h)`` and
+every jump ``(m, s)`` with ``m ∈ T(h)``, ``s ∉ T+(h)``, a synthetic edge
+``(h, s)`` — hence ``LEVEL(m) − LEVEL(s)`` synthetic edges per jump.
+
+Neighbor queries use the paper's notation: ``succs(n, "FJS")`` is
+``SUCCS^{FJS}(n)``, the sinks of FORWARD, JUMP and SYNTHETIC edges out of
+``n``.  Results are deterministic lists.
+"""
+
+from enum import Enum
+
+from repro.graph.cfg import Node, NodeKind
+from repro.graph.normalize import validate_normalized
+from repro.util.errors import GraphError
+
+
+class EdgeType(Enum):
+    """Edge classification of §3.3."""
+
+    ENTRY = "E"
+    CYCLE = "C"
+    FORWARD = "F"
+    JUMP = "J"
+    SYNTHETIC = "S"
+
+
+_BY_LETTER = {t.value: t for t in EdgeType}
+
+
+class IntervalFlowGraph:
+    """The analyzed flow graph the GIVE-N-TAKE equations run on."""
+
+    def __init__(self, cfg, forest=None):
+        self.cfg = cfg
+        self.forest = forest if forest is not None else validate_normalized(cfg)
+        self.root = Node(-1, NodeKind.ROOT, name="ROOT")
+
+        for src, dst in cfg.edges():
+            if src is dst:
+                raise GraphError(f"self loop at {src} is not supported")
+
+        self._succs = {}  # node -> {EdgeType: [node]}
+        self._preds = {}
+        self._types = {}  # (src, dst) -> EdgeType of the real edge
+        for node in self.nodes():
+            self._succs[node] = {t: [] for t in EdgeType}
+            self._preds[node] = {t: [] for t in EdgeType}
+
+        for src, dst in cfg.edges():
+            self._add(src, dst, self._classify(src, dst))
+        self._add(self.root, cfg.entry, EdgeType.ENTRY)
+        self._add(cfg.exit, self.root, EdgeType.CYCLE)
+
+        self._jump_edges = [
+            (src, dst) for (src, dst), t in self._types.items() if t is EdgeType.JUMP
+        ]
+        self._add_synthetic_edges()
+
+    # -- construction -------------------------------------------------------
+
+    def _classify(self, src, dst):
+        forest = self.forest
+        if forest.contains(src, dst):
+            return EdgeType.ENTRY
+        if forest.contains(dst, src):
+            return EdgeType.CYCLE
+        for header in forest.enclosing_headers(src):
+            if dst is not header and not forest.contains(header, dst):
+                return EdgeType.JUMP
+        return EdgeType.FORWARD
+
+    def _add(self, src, dst, edge_type):
+        self._succs[src][edge_type].append(dst)
+        self._preds[dst][edge_type].append(src)
+        self._types[(src, dst)] = edge_type
+
+    def _add_synthetic_edges(self):
+        seen = set()
+        for src, dst in self._jump_edges:
+            for header in self.forest.enclosing_headers(src):
+                inside = dst is header or self.forest.contains(header, dst)
+                if inside:
+                    continue
+                if (header, dst) in seen:
+                    continue
+                seen.add((header, dst))
+                self._succs[header][EdgeType.SYNTHETIC].append(dst)
+                self._preds[dst][EdgeType.SYNTHETIC].append(header)
+
+    # -- nodes ----------------------------------------------------------------
+
+    def nodes(self):
+        """ROOT followed by the real nodes in tie-break order."""
+        return [self.root] + self.cfg.nodes()
+
+    def real_nodes(self):
+        return self.cfg.nodes()
+
+    def order_index(self, node):
+        return -1 if node is self.root else self.cfg.order_index(node)
+
+    def level(self, node):
+        """Loop nesting level; ``LEVEL(ROOT) = 0``."""
+        return 0 if node is self.root else self.forest.level(node)
+
+    def interval(self, node):
+        """``T(node)``: all real nodes for ROOT, the loop members for a
+        header, the empty list otherwise."""
+        if node is self.root:
+            return self.cfg.nodes()
+        return list(self.forest.members(node))
+
+    def in_interval(self, header, node):
+        """True if ``node ∈ T(header)``."""
+        if header is self.root:
+            return node is not self.root
+        return self.forest.contains(header, node)
+
+    def children(self, node):
+        """``CHILDREN(node)``: interval members one level deeper, in
+        tie-break order."""
+        if node is self.root:
+            return [n for n in self.cfg.nodes() if self.forest.innermost(n) is None]
+        return sorted(self.forest.children(node), key=self.cfg.order_index)
+
+    def lastchild(self, node):
+        """``LASTCHILD(node)``: the unique CYCLE-edge source of the
+        interval, or None for non-headers."""
+        if node is self.root:
+            return self.cfg.exit
+        if self.forest.is_header(node):
+            return self.forest.latch(node)
+        return None
+
+    def body_entry(self, node):
+        """The unique ENTRY-edge sink of the interval (None for
+        non-headers); this is ``LASTCHILD`` of the reversed graph."""
+        if node is self.root:
+            return self.cfg.entry
+        entries = self._succs[node][EdgeType.ENTRY]
+        return entries[0] if entries else None
+
+    def header_of(self, node):
+        """``HEADER(node)``: source of the ENTRY edge reaching ``node``,
+        or None."""
+        sources = self._preds[node][EdgeType.ENTRY]
+        return sources[0] if sources else None
+
+    def is_header(self, node):
+        return node is self.root or self.forest.is_header(node)
+
+    # -- edges ----------------------------------------------------------------
+
+    def succs(self, node, letters="CEFJ"):
+        """``SUCCS^letters(node)``; default CEFJ are the conventional
+        successors."""
+        result = []
+        for letter in letters:
+            result.extend(self._succs[node][_BY_LETTER[letter]])
+        return result
+
+    def preds(self, node, letters="CEFJ"):
+        """``PREDS^letters(node)``."""
+        result = []
+        for letter in letters:
+            result.extend(self._preds[node][_BY_LETTER[letter]])
+        return result
+
+    def edge_type(self, src, dst):
+        """Type of the real edge (src, dst); KeyError if absent."""
+        return self._types[(src, dst)]
+
+    def edges(self, letters="CEFJS"):
+        """All (src, dst, type) triples of the requested types, including
+        the pseudo ROOT edges and synthetic edges."""
+        wanted = {_BY_LETTER[letter] for letter in letters}
+        result = []
+        for node in self.nodes():
+            for edge_type in EdgeType:
+                if edge_type not in wanted:
+                    continue
+                for dst in self._succs[node][edge_type]:
+                    result.append((node, dst, edge_type))
+        return result
+
+    def jump_edges(self):
+        return list(self._jump_edges)
+
+    def headers_with_jump_sources(self):
+        """Headers whose interval contains the source of a JUMP edge that
+        leaves the interval.  For AFTER problems these loops would become
+        irreducible under reversal; hoisting out of them is suppressed
+        (paper §5.3)."""
+        result = []
+        for header in [self.root] + self.forest.headers():
+            for src, dst in self._jump_edges:
+                if not self.in_interval(header, src):
+                    continue
+                if dst is header or self.in_interval(header, dst):
+                    continue
+                result.append(header)
+                break
+        return result

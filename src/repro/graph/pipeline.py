@@ -1,0 +1,20 @@
+"""Convenience entry point: program text or AST → interval flow graph."""
+
+from repro.lang.parser import parse
+from repro.graph.builder import build_cfg
+from repro.graph.normalize import normalize
+from repro.graph.interval_graph import IntervalFlowGraph
+
+
+def interval_graph_for_program(program):
+    """Build the normalized interval flow graph of a program.
+
+    ``program`` may be source text or a parsed
+    :class:`repro.lang.ast.Program`.  Returns the
+    :class:`~repro.graph.interval_graph.IntervalFlowGraph`.
+    """
+    if isinstance(program, str):
+        program = parse(program)
+    cfg = build_cfg(program)
+    normalize(cfg)
+    return IntervalFlowGraph(cfg)

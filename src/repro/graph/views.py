@@ -1,0 +1,160 @@
+"""Directional views over an interval flow graph.
+
+The GIVE-N-TAKE equations are identical for BEFORE and AFTER problems
+(§3.4, §5.3); only the flow of control is reversed.  The solver is
+therefore written against the small protocol implemented here:
+
+* :class:`ForwardView` — BEFORE problems (e.g. READ generation); a thin
+  delegate to the :class:`~repro.graph.interval_graph.IntervalFlowGraph`.
+* :class:`BackwardView` — AFTER problems (e.g. WRITE generation).  Control
+  flow is reversed while keeping the *original* interval structure, as in
+  the paper's implementation: predecessor and successor roles swap, edge
+  types remap ENTRY↔CYCLE (FORWARD/JUMP/SYNTHETIC are self-dual),
+  ``LASTCHILD`` becomes the loop's unique body-entry node, and loops whose
+  interval contains a JUMP source are blocked (``steal_all``) — under reversal
+  those jumps enter the loop mid-body, so hoisting consumption out of the
+  loop would be unsafe (paper §5.3, Figure 16).
+"""
+
+from repro.graph.traversal import preorder, postorder
+
+_BACKWARD_TYPE_MAP = str.maketrans({"E": "C", "C": "E"})
+
+
+class ForwardView:
+    """BEFORE-problem view: the graph as it is."""
+
+    direction = "before"
+
+    def __init__(self, ifg):
+        self.ifg = ifg
+        self.root = ifg.root
+        self._preorder = preorder(ifg)
+        self._position = {node: i for i, node in enumerate(self._preorder)}
+
+    def nodes_preorder(self):
+        """This view's FORWARD+DOWNWARD order."""
+        return list(self._preorder)
+
+    def nodes_reverse_preorder(self):
+        return list(reversed(self._preorder))
+
+    def succs(self, node, letters):
+        return self.ifg.succs(node, letters)
+
+    def preds(self, node, letters):
+        return self.ifg.preds(node, letters)
+
+    def lastchild(self, node):
+        return self.ifg.lastchild(node)
+
+    def header_of(self, node):
+        return self.ifg.header_of(node)
+
+    def children(self, node):
+        """CHILDREN(node) in this view's FORWARD order."""
+        return sorted(self.ifg.children(node), key=self._position.__getitem__)
+
+    def is_header(self, node):
+        return self.ifg.is_header(node)
+
+    def steal_all(self, node):
+        """Whether the solver must treat ``node`` as stealing the whole
+        universe (see BackwardView).  Never in the forward direction."""
+        return False
+
+    @property
+    def requires_consumption_iteration(self):
+        """Whether the S1/S2 sweep needs repeating to reach the fixpoint.
+
+        Never in the forward direction: the paper's evaluation-order
+        constraints hold and one pass suffices (§5.2)."""
+        return False
+
+    #: Edge letters along which the interval-local S2 flow (Eqs 9/10)
+    #: propagates.  Forward: FORWARD and JUMP edges (the paper's
+    #: PREDS^{FJ}) plus the SYNTHETIC term of Eq 10.
+    loc_pred_letters = "FJ"
+    loc_synthetic_letters = "S"
+
+
+class BackwardView:
+    """AFTER-problem view: reversed control flow, original intervals.
+
+    ``blocked=True`` (the default) applies the paper's §5.3 safeguard for
+    loops that jumps leave: a whole-universe STEAL at their headers, so
+    no production region can span them.  ``blocked=False`` runs the pure
+    equations — correct for many jump shapes (Eq 15's balance patching
+    covers the Figure 14 write placement) but not all; use it only
+    together with checker verification (see
+    ``repro.commgen.pipeline.generate_communication``'s optimistic
+    mode)."""
+
+    direction = "after"
+
+    def __init__(self, ifg, blocked=True):
+        self.ifg = ifg
+        self.root = ifg.root
+        # This view's forward direction is the original backward one, so
+        # its PREORDER (forward+downward) is the reverse of the original
+        # POSTORDER (forward+upward).
+        self._postorder = postorder(ifg)
+        self._preorder = list(reversed(self._postorder))
+        self._position = {node: i for i, node in enumerate(self._preorder)}
+        self._blocked_headers = (
+            set(ifg.headers_with_jump_sources()) if blocked else set()
+        )
+
+    def nodes_preorder(self):
+        return list(self._preorder)
+
+    def nodes_reverse_preorder(self):
+        return list(self._postorder)
+
+    def succs(self, node, letters):
+        return self.ifg.preds(node, letters.translate(_BACKWARD_TYPE_MAP))
+
+    def preds(self, node, letters):
+        return self.ifg.succs(node, letters.translate(_BACKWARD_TYPE_MAP))
+
+    def lastchild(self, node):
+        """Reversal turns the unique ENTRY edge into the unique CYCLE
+        edge, so the reversed LASTCHILD is the original body entry."""
+        return self.ifg.body_entry(node)
+
+    def header_of(self, node):
+        """In the reversed graph the ENTRY edge into ``node`` is the
+        original CYCLE edge out of it, so ``node`` must be the original
+        latch and its header is unchanged."""
+        cycle_targets = self.ifg.succs(node, "C")
+        return cycle_targets[0] if cycle_targets else None
+
+    def children(self, node):
+        return sorted(self.ifg.children(node), key=self._position.__getitem__)
+
+    def is_header(self, node):
+        return self.ifg.is_header(node)
+
+    def steal_all(self, node):
+        """Headers of loops a jump leaves: under reversal those jumps
+        enter the loop, so production regions must not span it.  The
+        solver injects a whole-universe STEAL there (§5.3); this loses
+        some legal optimizations but never safety, as the paper notes."""
+        return node in self._blocked_headers
+
+    @property
+    def requires_consumption_iteration(self):
+        """With jumps present, an extra verification sweep guarantees
+        the fixpoint was reached (the restricted F-only local flow makes
+        one pass sufficient in practice; the check is cheap insurance)."""
+        return bool(self.ifg.jump_edges())
+
+    #: Under reversal, JUMP and SYNTHETIC edges enter loops mid-body —
+    #: they are not same-interval flow, so the interval-local S2
+    #: equations only follow FORWARD edges.  Feeding reversed jumps into
+    #: the _loc chains would attribute post-loop effects to the loop
+    #: summary itself (paper §5.3's irreducibility hazard).  Safety for
+    #: regions interacting with the jumps is restored by ``steal_all``
+    #: (blocked mode) or checker certification (optimistic mode).
+    loc_pred_letters = "F"
+    loc_synthetic_letters = ""

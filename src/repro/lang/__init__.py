@@ -1,0 +1,37 @@
+"""Mini-Fortran frontend.
+
+This package implements a small Fortran-like language that is just large
+enough to express every example program in the GIVE-N-TAKE paper (Figures
+1, 3, 11) plus declarations and distribution directives needed by the
+communication-generation application:
+
+* ``do`` loops with symbolic bounds (potentially zero-trip),
+* block ``if/then/else/endif`` and logical ``if (cond) goto L``,
+* numeric statement labels and ``goto`` (jumps out of loops),
+* assignments with array references, affine subscripts (``x(k+10)``) and
+  indirect subscripts (``y(a(i))``),
+* the opaque expression ``...`` used throughout the paper's figures,
+* declarations ``real x(100)``, ``integer a(100)``, ``parameter n = 100``
+  and the directive ``distribute x(block)``.
+
+Entry points: :func:`parse` for source text and :func:`repro.lang.printer.
+format_program` to regenerate it.
+"""
+
+from repro.lang import ast
+from repro.lang.lexer import tokenize
+from repro.lang.parser import parse
+from repro.lang.printer import format_program, format_statement, format_expr
+from repro.lang.symbols import SymbolTable, ArrayInfo, Distribution
+
+__all__ = [
+    "ast",
+    "tokenize",
+    "parse",
+    "format_program",
+    "format_statement",
+    "format_expr",
+    "SymbolTable",
+    "ArrayInfo",
+    "Distribution",
+]

@@ -1,0 +1,249 @@
+"""Abstract syntax tree for the mini-Fortran language.
+
+Expressions are immutable (frozen dataclasses); statements are mutable so
+the communication annotator can splice :class:`Comm` statements into bodies.
+Every statement carries an optional numeric ``label`` (the target of
+``goto``) and the 1-based source ``line`` it came from (0 for synthesized
+statements).
+"""
+
+from dataclasses import dataclass, field
+
+
+# ---------------------------------------------------------------------------
+# Expressions
+# ---------------------------------------------------------------------------
+
+
+class Expr:
+    """Base class for expressions."""
+
+    __slots__ = ()
+
+
+@dataclass(frozen=True)
+class Num(Expr):
+    """Integer literal."""
+
+    value: int
+
+
+@dataclass(frozen=True)
+class Var(Expr):
+    """Scalar variable reference (or parameter), e.g. ``n`` or ``test``."""
+
+    name: str
+
+
+@dataclass(frozen=True)
+class ArrayRef(Expr):
+    """Array element reference ``name(subscripts...)``.
+
+    Syntactically this also covers function calls like ``test(i)``; the
+    reference analysis consults the symbol table to tell them apart.
+    """
+
+    name: str
+    subscripts: tuple
+
+    def __str__(self):
+        inner = ", ".join(str(s) for s in self.subscripts)
+        return f"{self.name}({inner})"
+
+
+@dataclass(frozen=True)
+class BinOp(Expr):
+    """Binary operation; ``op`` is one of ``+ - * / < > <= >= == !=``."""
+
+    op: str
+    left: Expr
+    right: Expr
+
+
+@dataclass(frozen=True)
+class Opaque(Expr):
+    """The ``...`` placeholder used throughout the paper's figures.
+
+    It stands for an arbitrary computation with no array accesses that the
+    analysis cares about.
+    """
+
+
+@dataclass(frozen=True)
+class RangeExpr(Expr):
+    """A section range ``lo:hi``, used in communication argument lists."""
+
+    lo: Expr
+    hi: Expr
+
+
+# ---------------------------------------------------------------------------
+# Statements
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class Stmt:
+    """Base class for statements."""
+
+    label: int = field(default=None, kw_only=True)
+    line: int = field(default=0, kw_only=True)
+
+
+@dataclass
+class Assign(Stmt):
+    """``target = value`` where target is a :class:`Var` or :class:`ArrayRef`."""
+
+    target: Expr
+    value: Expr
+
+
+@dataclass
+class Do(Stmt):
+    """``do var = lo, hi [, step] ... enddo``.
+
+    Fortran DO loops may execute zero times (``lo > hi``), which is exactly
+    the zero-trip construct GIVE-N-TAKE hoists out of.
+    """
+
+    var: str
+    lo: Expr
+    hi: Expr
+    step: Expr
+    body: list
+
+
+@dataclass
+class If(Stmt):
+    """Block ``if cond then ... [else ...] endif``."""
+
+    cond: Expr
+    then_body: list
+    else_body: list
+
+
+@dataclass
+class IfGoto(Stmt):
+    """Logical ``if (cond) goto target`` — the paper's jump out of a loop."""
+
+    cond: Expr
+    target: int
+
+
+@dataclass
+class Goto(Stmt):
+    """Unconditional ``goto target``."""
+
+    target: int
+
+
+@dataclass
+class Continue(Stmt):
+    """``continue`` — a no-op, usually a label carrier."""
+
+
+@dataclass
+class Declaration(Stmt):
+    """``real name(size)`` or ``integer name(size)`` (size may be None
+    for scalars)."""
+
+    type_name: str
+    name: str
+    size: Expr
+
+
+@dataclass
+class ParameterDef(Stmt):
+    """``parameter name = value``."""
+
+    name: str
+    value: Expr
+
+
+@dataclass
+class Distribute(Stmt):
+    """``distribute name(scheme)`` with scheme in block/cyclic/replicated."""
+
+    name: str
+    scheme: str
+
+
+@dataclass
+class Comm(Stmt):
+    """A communication statement inserted by the annotator.
+
+    ``kind`` is ``"read"`` or ``"write"``; ``phase`` is ``"send"``,
+    ``"recv"`` or ``None`` for an atomic operation; ``args`` is a list of
+    printable section descriptors (see :mod:`repro.analysis.sections`);
+    ``reduce`` optionally names a reduction operation combined with a
+    WRITE (e.g. ``"sum"`` — the owner accumulates rather than overwrites).
+    """
+
+    kind: str
+    phase: str
+    args: list
+    reduce: str = None
+
+
+@dataclass
+class Program:
+    """A whole program: declarations followed by executable statements."""
+
+    body: list
+
+    def declarations(self):
+        """Return the leading declaration-like statements."""
+        return [s for s in self.body if isinstance(s, (Declaration, ParameterDef, Distribute))]
+
+    def executables(self):
+        """Return the non-declaration statements."""
+        return [
+            s
+            for s in self.body
+            if not isinstance(s, (Declaration, ParameterDef, Distribute))
+        ]
+
+
+# ---------------------------------------------------------------------------
+# Traversal helpers
+# ---------------------------------------------------------------------------
+
+
+def walk_statements(body):
+    """Yield every statement in ``body`` recursively, in source order."""
+    for stmt in body:
+        yield stmt
+        if isinstance(stmt, Do):
+            yield from walk_statements(stmt.body)
+        elif isinstance(stmt, If):
+            yield from walk_statements(stmt.then_body)
+            yield from walk_statements(stmt.else_body)
+
+
+def walk_expressions(expr):
+    """Yield ``expr`` and every sub-expression, outside in."""
+    yield expr
+    if isinstance(expr, BinOp):
+        yield from walk_expressions(expr.left)
+        yield from walk_expressions(expr.right)
+    elif isinstance(expr, ArrayRef):
+        for subscript in expr.subscripts:
+            yield from walk_expressions(subscript)
+    elif isinstance(expr, RangeExpr):
+        yield from walk_expressions(expr.lo)
+        yield from walk_expressions(expr.hi)
+
+
+def statement_expressions(stmt):
+    """Yield the top-level expressions appearing in ``stmt``."""
+    if isinstance(stmt, Assign):
+        yield stmt.target
+        yield stmt.value
+    elif isinstance(stmt, Do):
+        yield stmt.lo
+        yield stmt.hi
+        yield stmt.step
+    elif isinstance(stmt, (If, IfGoto)):
+        yield stmt.cond
+    elif isinstance(stmt, ParameterDef):
+        yield stmt.value

@@ -1,0 +1,117 @@
+"""Hand-written lexer for the mini-Fortran language.
+
+The lexer is line oriented, as Fortran is: each physical line is a
+statement (there is no continuation syntax in this subset).  Comments start
+with ``!`` or a leading ``c``/``*`` column-1 marker and run to end of line.
+Identifiers and keywords are case-insensitive and normalized to lower case.
+"""
+
+from repro.lang.tokens import KEYWORDS, Token, TokenKind
+from repro.util.errors import ParseError
+
+_SINGLE_CHAR = {
+    "(": TokenKind.LPAREN,
+    ")": TokenKind.RPAREN,
+    ",": TokenKind.COMMA,
+    "+": TokenKind.PLUS,
+    "-": TokenKind.MINUS,
+    "*": TokenKind.STAR,
+    "/": TokenKind.SLASH,
+    ":": TokenKind.COLON,
+}
+
+
+def tokenize(source):
+    """Tokenize ``source`` into a list of :class:`Token`, ending with EOF.
+
+    Raises :class:`ParseError` on unrecognized characters.
+    """
+    tokens = []
+    for line_number, raw_line in enumerate(source.split("\n"), start=1):
+        line = _strip_comment(raw_line)
+        _tokenize_line(line, line_number, tokens)
+        if tokens and tokens[-1].kind != TokenKind.NEWLINE:
+            tokens.append(Token(TokenKind.NEWLINE, "\n", line_number, len(raw_line) + 1))
+    tokens.append(Token(TokenKind.EOF, "", source.count("\n") + 1, 1))
+    return tokens
+
+
+def _strip_comment(line):
+    """Remove a ``!`` comment and classic column-1 ``c``/``*`` comments.
+
+    A ``!`` immediately followed by ``=`` is the not-equal operator, not
+    a comment start.
+    """
+    if line[:1] in ("*",) or (line[:1] in ("c", "C") and line[1:2] in ("", " ")):
+        return ""
+    cut = 0
+    while True:
+        cut = line.find("!", cut)
+        if cut < 0:
+            return line
+        if line[cut:cut + 2] == "!=":
+            cut += 2
+            continue
+        return line[:cut]
+
+
+def _tokenize_line(line, line_number, tokens):
+    position = 0
+    length = len(line)
+    while position < length:
+        char = line[position]
+        column = position + 1
+        if char in " \t\r":
+            position += 1
+        elif line.startswith("...", position):
+            tokens.append(Token(TokenKind.DOTS, "...", line_number, column))
+            position += 3
+        elif char.isdigit():
+            position = _lex_number(line, position, line_number, tokens)
+        elif char.isalpha() or char == "_":
+            position = _lex_name(line, position, line_number, tokens)
+        elif line.startswith("==", position):
+            tokens.append(Token(TokenKind.EQ, "==", line_number, column))
+            position += 2
+        elif line.startswith("/=", position) or line.startswith("!=", position):
+            tokens.append(Token(TokenKind.NE, line[position : position + 2], line_number, column))
+            position += 2
+        elif line.startswith("<=", position):
+            tokens.append(Token(TokenKind.LE, "<=", line_number, column))
+            position += 2
+        elif line.startswith(">=", position):
+            tokens.append(Token(TokenKind.GE, ">=", line_number, column))
+            position += 2
+        elif char == "<":
+            tokens.append(Token(TokenKind.LT, "<", line_number, column))
+            position += 1
+        elif char == ">":
+            tokens.append(Token(TokenKind.GT, ">", line_number, column))
+            position += 1
+        elif char == "=":
+            tokens.append(Token(TokenKind.ASSIGN, "=", line_number, column))
+            position += 1
+        elif char in _SINGLE_CHAR:
+            tokens.append(Token(_SINGLE_CHAR[char], char, line_number, column))
+            position += 1
+        else:
+            raise ParseError(f"unexpected character {char!r}", line_number, column)
+
+
+def _lex_number(line, position, line_number, tokens):
+    start = position
+    while position < len(line) and line[position].isdigit():
+        position += 1
+    text = line[start:position]
+    tokens.append(Token(TokenKind.INT, text, line_number, start + 1))
+    return position
+
+
+def _lex_name(line, position, line_number, tokens):
+    start = position
+    while position < len(line) and (line[position].isalnum() or line[position] == "_"):
+        position += 1
+    text = line[start:position].lower()
+    kind = KEYWORDS.get(text, TokenKind.NAME)
+    tokens.append(Token(kind, text, line_number, start + 1))
+    return position

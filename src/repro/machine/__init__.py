@@ -1,0 +1,28 @@
+"""Distributed-memory machine simulator.
+
+The paper's evaluation reasons about message counts, volume, and latency
+hiding (Figure 2: N element messages vs. one vectorized message whose
+latency hides behind the ``i`` loop).  The authors ran on a real
+distributed-memory machine; we substitute a symbolic executor that runs
+annotated programs under a simple cost model and reports exactly those
+quantities (see DESIGN.md, substitutions).
+
+* :class:`repro.machine.model.MachineModel` — latency / per-element
+  cost / per-message overhead;
+* :class:`repro.machine.executor.Simulator` — executes an annotated
+  program under concrete bindings, pairing sends with receives;
+* :class:`repro.machine.metrics.ExecutionMetrics` — messages, volume,
+  work, exposed vs. hidden latency, total time.
+"""
+
+from repro.machine.model import MachineModel
+from repro.machine.executor import Simulator, ConditionPolicy, simulate
+from repro.machine.metrics import ExecutionMetrics
+
+__all__ = [
+    "MachineModel",
+    "Simulator",
+    "ConditionPolicy",
+    "simulate",
+    "ExecutionMetrics",
+]

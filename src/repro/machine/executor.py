@@ -1,0 +1,290 @@
+"""Symbolic execution of (annotated) mini-Fortran programs.
+
+The simulator interprets the AST under concrete bindings (``n=64``),
+advancing a clock: each computational statement costs one work unit,
+each ``*_Send`` issues a message whose transfer completes after the
+machine's latency + per-element time, and each ``*_Recv`` blocks until
+its matching message has arrived — waiting time is *exposed* latency,
+the rest was hidden behind computation.  Atomic communication (no
+phase) exposes its full transfer time.
+
+Branch conditions that cannot be evaluated arithmetically (``test``,
+``test(i)``) are resolved by a :class:`ConditionPolicy`.
+"""
+
+import random
+
+from repro.lang import ast
+from repro.lang.parser import parse as parse_program
+from repro.machine.metrics import ExecutionMetrics
+from repro.machine.model import MachineModel
+from repro.util.errors import AnalysisError
+
+
+class ConditionPolicy:
+    """Resolves opaque branch conditions.
+
+    ``mode`` is ``"always"`` (True), ``"never"`` (False), or ``"random"``
+    with a seeded RNG and a truth ``probability``.
+    """
+
+    def __init__(self, mode="never", seed=0, probability=0.5):
+        self.mode = mode
+        self.probability = probability
+        self._rng = random.Random(seed)
+
+    def decide(self, condition, env):
+        if self.mode == "always":
+            return True
+        if self.mode == "never":
+            return False
+        return self._rng.random() < self.probability
+
+
+class _Jump(Exception):
+    """Control transfer to a numeric label."""
+
+    def __init__(self, label):
+        self.label = label
+
+
+class Simulator:
+    """Executes one program under one machine model."""
+
+    def __init__(self, program, machine=None, bindings=None, policy=None):
+        if isinstance(program, str):
+            program = parse_program(program)
+        self.program = program
+        self.machine = machine if machine is not None else MachineModel()
+        self.env = dict(bindings or {})
+        self.policy = policy if policy is not None else ConditionPolicy()
+        self.metrics = ExecutionMetrics()
+        self.clock = 0.0
+        self._outstanding = []  # (kind, arrays, ready_time, volume)
+        self._load_parameters()
+
+    def _load_parameters(self):
+        for stmt in self.program.body:
+            if isinstance(stmt, ast.ParameterDef):
+                self.env.setdefault(stmt.name, self._eval(stmt.value))
+
+    # -- driving ------------------------------------------------------------
+
+    def run(self):
+        """Execute the program; return the collected metrics."""
+        try:
+            self._execute_body(self.program.executables())
+        except _Jump as jump:
+            raise AnalysisError(f"goto to unknown label {jump.label}") from None
+        return self.metrics
+
+    def _execute_body(self, body):
+        index = 0
+        while index < len(body):
+            stmt = body[index]
+            try:
+                self._execute(stmt)
+            except _Jump as jump:
+                target = self._find_label(body, jump.label)
+                if target is None:
+                    raise
+                index = target
+                continue
+            index += 1
+
+    @staticmethod
+    def _find_label(body, label):
+        for position, stmt in enumerate(body):
+            if stmt.label == label:
+                return position
+        return None
+
+    # -- statements -----------------------------------------------------------
+
+    def _execute(self, stmt):
+        if isinstance(stmt, ast.Assign):
+            self._work()
+        elif isinstance(stmt, ast.Continue):
+            pass
+        elif isinstance(stmt, ast.Do):
+            self._execute_do(stmt)
+        elif isinstance(stmt, ast.If):
+            if self._condition(stmt.cond):
+                self._execute_body(stmt.then_body)
+            else:
+                self._execute_body(stmt.else_body)
+        elif isinstance(stmt, ast.IfGoto):
+            if self._condition(stmt.cond):
+                raise _Jump(stmt.target)
+        elif isinstance(stmt, ast.Goto):
+            raise _Jump(stmt.target)
+        elif isinstance(stmt, ast.Comm):
+            self._communicate(stmt)
+        elif isinstance(stmt, (ast.Declaration, ast.ParameterDef, ast.Distribute)):
+            pass
+        else:
+            raise AnalysisError(f"cannot simulate {stmt!r}")
+
+    def _execute_do(self, stmt):
+        lo = self._eval(stmt.lo)
+        hi = self._eval(stmt.hi)
+        step = self._eval(stmt.step)
+        if step <= 0:
+            raise AnalysisError("non-positive do step")
+        saved = self.env.get(stmt.var)
+        value = lo
+        try:
+            while value <= hi:
+                self.env[stmt.var] = value
+                self._execute_body(stmt.body)
+                value += step
+        finally:
+            if saved is None:
+                self.env.pop(stmt.var, None)
+            else:
+                self.env[stmt.var] = saved
+
+    def _work(self):
+        self.clock += self.machine.work_unit
+        self.metrics.work_time += self.machine.work_unit
+
+    # -- communication -----------------------------------------------------------
+
+    def _communicate(self, comm):
+        if comm.phase == "send":
+            self._issue(comm.kind, comm.args)
+        elif comm.phase == "recv":
+            self._complete(comm.kind, comm.args)
+        else:  # atomic: issue and wait immediately
+            self._issue(comm.kind, comm.args)
+            self._complete(comm.kind, comm.args)
+
+    def _issue(self, kind, args):
+        """One message carrying all of ``args``; each section becomes an
+        outstanding entry so receives can wait on any subset."""
+        volume = sum(self._descriptor_size(arg) for arg in args)
+        overhead = self.machine.message_overhead
+        self.clock += overhead
+        self.metrics.overhead_time += overhead
+        self.metrics.record_message(kind, volume)
+        transfer = self.machine.transfer_time(volume)
+        # all sections of one message share its wire time; the
+        # exposed/hidden accounting happens once per message
+        message = {"ready": self.clock + transfer, "transfer": transfer,
+                   "accounted": False}
+        for arg in args:
+            self._outstanding.append({
+                "kind": kind,
+                "arg": arg,
+                "array": arg.split("(", 1)[0],
+                "message": message,
+            })
+
+    def _complete(self, kind, args):
+        """Wait for the outstanding sections named by ``args``.
+
+        Matching is exact on the rendered section first, then by array
+        name (partial sections like ``y(a(1:i))`` pair with their
+        full-range counterpart).  A receive with no matching send at all
+        is an imbalance and raises."""
+        matched = []
+        for arg in args:
+            entry = self._find_entry(kind, arg)
+            if entry is not None:
+                self._outstanding.remove(entry)
+                matched.append(entry)
+        if not matched:
+            raise AnalysisError(
+                f"receive of {kind} {sorted(args)} without an outstanding send"
+            )
+        for entry in matched:
+            message = entry["message"]
+            exposed = max(0.0, message["ready"] - self.clock)
+            self.clock += exposed
+            if not message["accounted"]:
+                message["accounted"] = True
+                self.metrics.exposed_latency += exposed
+                self.metrics.hidden_latency += message["transfer"] - exposed
+
+    def _find_entry(self, kind, arg):
+        array = arg.split("(", 1)[0]
+        fallback = None
+        for entry in self._outstanding:
+            if entry["kind"] != kind:
+                continue
+            if entry["arg"] == arg:
+                return entry
+            if fallback is None and entry["array"] == array:
+                fallback = entry
+        return fallback
+
+    # -- expressions -----------------------------------------------------------
+
+    def _eval(self, expr):
+        if isinstance(expr, ast.Num):
+            return expr.value
+        if isinstance(expr, ast.Var):
+            if expr.name not in self.env:
+                raise AnalysisError(f"unbound variable {expr.name!r}")
+            return self.env[expr.name]
+        if isinstance(expr, ast.BinOp):
+            left = self._eval(expr.left)
+            right = self._eval(expr.right)
+            operations = {
+                "+": lambda: left + right,
+                "-": lambda: left - right,
+                "*": lambda: left * right,
+                "/": lambda: left // right,
+                "<": lambda: left < right,
+                ">": lambda: left > right,
+                "<=": lambda: left <= right,
+                ">=": lambda: left >= right,
+                "==": lambda: left == right,
+                "!=": lambda: left != right,
+            }
+            return operations[expr.op]()
+        raise AnalysisError(f"cannot evaluate {expr!r}")
+
+    def _condition(self, cond):
+        try:
+            return bool(self._eval(cond))
+        except AnalysisError:
+            return self.policy.decide(cond, self.env)
+
+    def _descriptor_size(self, arg):
+        """Element count of a rendered section like ``x(11:n + 10)``,
+        ``x(a(1:i))``, or ``g(1:n, 1:m)`` under the current environment
+        (ranges multiply across dimensions)."""
+        expr = _parse_argument(arg)
+        if not isinstance(expr, ast.ArrayRef):
+            return 1
+        total = 1
+        for subscript in expr.subscripts:
+            rng = _innermost_range(subscript)
+            if rng is None:
+                continue  # a point dimension
+            lo = self._eval(rng.lo)
+            hi = self._eval(rng.hi)
+            total *= max(0, hi - lo + 1)
+        return total
+
+
+def _parse_argument(text):
+    program = parse_program(f"__v = {text}")
+    return program.body[0].value
+
+
+def _innermost_range(expr):
+    if isinstance(expr, ast.RangeExpr):
+        return expr
+    if isinstance(expr, ast.ArrayRef):
+        for subscript in expr.subscripts:
+            found = _innermost_range(subscript)
+            if found is not None:
+                return found
+    return None
+
+
+def simulate(program, machine=None, bindings=None, policy=None):
+    """Convenience wrapper: run ``program`` and return its metrics."""
+    return Simulator(program, machine, bindings, policy).run()

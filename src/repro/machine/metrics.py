@@ -1,0 +1,56 @@
+"""Execution metrics collected by the simulator."""
+
+from dataclasses import dataclass, field
+
+
+@dataclass
+class ExecutionMetrics:
+    """What one simulated run cost.
+
+    * ``messages`` — number of messages issued (sends + atomic ops);
+    * ``volume`` — total elements transferred;
+    * ``work_time`` — computation time;
+    * ``overhead_time`` — per-message CPU overhead;
+    * ``exposed_latency`` — transfer time the processor actually waited
+      for (a receive that arrived before its data);
+    * ``hidden_latency`` — transfer time overlapped with computation;
+    * ``total_time`` — work + overhead + exposed latency.
+    """
+
+    messages: int = 0
+    volume: float = 0.0
+    work_time: float = 0.0
+    overhead_time: float = 0.0
+    exposed_latency: float = 0.0
+    hidden_latency: float = 0.0
+    #: messages per communication kind ("read", "write", "prefetch", …)
+    messages_by_kind: dict = field(default_factory=dict)
+    volume_by_kind: dict = field(default_factory=dict)
+
+    def record_message(self, kind, volume):
+        self.messages += 1
+        self.volume += volume
+        self.messages_by_kind[kind] = self.messages_by_kind.get(kind, 0) + 1
+        self.volume_by_kind[kind] = self.volume_by_kind.get(kind, 0.0) + volume
+
+    @property
+    def total_time(self):
+        return self.work_time + self.overhead_time + self.exposed_latency
+
+    @property
+    def comm_time(self):
+        return self.overhead_time + self.exposed_latency
+
+    def speedup_over(self, other):
+        """How much faster this run is than ``other`` (>1 is better)."""
+        if self.total_time == 0:
+            return float("inf")
+        return other.total_time / self.total_time
+
+    def summary(self):
+        return (
+            f"messages={self.messages} volume={self.volume:.0f} "
+            f"work={self.work_time:.0f} overhead={self.overhead_time:.0f} "
+            f"exposed={self.exposed_latency:.0f} hidden={self.hidden_latency:.0f} "
+            f"total={self.total_time:.0f}"
+        )

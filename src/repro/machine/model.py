@@ -1,0 +1,28 @@
+"""Machine cost model."""
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class MachineModel:
+    """Cost parameters of the simulated distributed-memory machine.
+
+    * ``latency`` — fixed wire time between a send and the earliest
+      possible completion of its receive (the part latency hiding can
+      overlap with work);
+    * ``time_per_element`` — transfer cost per array element (inverse
+      bandwidth);
+    * ``message_overhead`` — CPU cost of issuing one message (paid at
+      the sender, never hidable) — this is what makes N element
+      messages so much worse than one vectorized message;
+    * ``work_unit`` — cost of one statement of computation.
+    """
+
+    latency: float = 100.0
+    time_per_element: float = 1.0
+    message_overhead: float = 10.0
+    work_unit: float = 1.0
+
+    def transfer_time(self, elements):
+        """Wire time of one message carrying ``elements`` elements."""
+        return self.latency + self.time_per_element * elements

@@ -1,0 +1,90 @@
+"""Building PRE instances (common-subexpression elimination) from
+mini-Fortran programs.
+
+The universe elements are canonical textual forms of the non-trivial
+expressions computed by assignments (``a + b``, ``a * c``...).  A node
+*uses* the expressions its right-hand side contains and *kills* every
+expression mentioning the variable its left-hand side defines.
+"""
+
+from repro.core.problem import Problem
+from repro.lang import ast
+from repro.lang.printer import format_expr
+
+
+def interesting_expressions(expr):
+    """The non-trivial subexpressions of ``expr`` (binary operations
+    over scalars/constants), as (canonical text, operand variables)."""
+    found = []
+    for sub in ast.walk_expressions(expr):
+        if isinstance(sub, ast.BinOp) and sub.op in "+-*/":
+            operands = {
+                e.name for e in ast.walk_expressions(sub) if isinstance(e, ast.Var)
+            }
+            if operands:
+                found.append((format_expr(sub), frozenset(operands)))
+    return found
+
+
+def build_cse_problem(analyzed, direction=None, **problem_options):
+    """A CSE instance over ``analyzed``: take = expression evaluation,
+    steal = definition of an operand.  Returns (problem, operands_map).
+    """
+    problem = Problem(**problem_options)
+    operands_of = {}
+
+    node_of = {}
+    for node in analyzed.ifg.real_nodes():
+        if node.stmt is not None:
+            node_of[id(node.stmt)] = node
+
+    def visit(body):
+        for stmt in body:
+            node = node_of.get(id(stmt))
+            if isinstance(stmt, ast.Assign):
+                for text, operands in interesting_expressions(stmt.value):
+                    problem.add_take(node, text)
+                    operands_of[text] = operands
+                if isinstance(stmt.target, ast.Var):
+                    _kill(problem, node, stmt.target.name, operands_of)
+            elif isinstance(stmt, ast.Do):
+                for bound in (stmt.lo, stmt.hi):
+                    for text, operands in interesting_expressions(bound):
+                        problem.add_take(node, text)
+                        operands_of[text] = operands
+                visit(stmt.body)
+                # the loop variable is redefined every iteration
+            elif isinstance(stmt, ast.If):
+                for text, operands in interesting_expressions(stmt.cond):
+                    problem.add_take(node, text)
+                    operands_of[text] = operands
+                visit(stmt.then_body)
+                visit(stmt.else_body)
+            elif isinstance(stmt, ast.IfGoto):
+                for text, operands in interesting_expressions(stmt.cond):
+                    problem.add_take(node, text)
+                    operands_of[text] = operands
+
+    visit(analyzed.program.executables())
+
+    # Apply kills in a second pass (all expressions are known by now).
+    def kill_pass(body):
+        for stmt in body:
+            node = node_of.get(id(stmt))
+            if isinstance(stmt, ast.Assign) and isinstance(stmt.target, ast.Var):
+                _kill(problem, node, stmt.target.name, operands_of)
+            elif isinstance(stmt, ast.Do):
+                _kill(problem, node, stmt.var, operands_of)
+                kill_pass(stmt.body)
+            elif isinstance(stmt, ast.If):
+                kill_pass(stmt.then_body)
+                kill_pass(stmt.else_body)
+
+    kill_pass(analyzed.program.executables())
+    return problem, operands_of
+
+
+def _kill(problem, node, variable, operands_of):
+    for text, operands in operands_of.items():
+        if variable in operands:
+            problem.add_steal(node, text)

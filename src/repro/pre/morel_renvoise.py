@@ -1,0 +1,148 @@
+"""Morel & Renvoise's original PRE (CACM 1979).
+
+The classical bidirectional system over basic blocks:
+
+* local predicates: ANTLOC (used), TRANSP (not killed), COMP (computed
+  and available at exit);
+* availability AVIN/AVOUT and partial availability PAVIN/PAVOUT;
+* anticipability ANTIN/ANTOUT;
+* placement possibility::
+
+      PPOUT(i) = ⋂_{s ∈ succ(i)} PPIN(s)                    (∅ at exit)
+      PPIN(i)  = ANTIN(i) ∩ PAVIN(i)
+               ∩ (ANTLOC(i) ∪ (TRANSP(i) ∩ PPOUT(i)))
+               ∩ ⋂_{p ∈ pred(i)} (PPOUT(p) ∪ AVOUT(p))
+      INSERT(i) = PPOUT(i) ∩ ¬AVOUT(i) ∩ (¬PPIN(i) ∪ ¬TRANSP(i))
+      DELETE(i) = ANTLOC(i) ∩ PPIN(i)
+
+solved by iteration to the greatest fixed point.  This is the framework
+whose limitations (atomicity, bidirectionality, no loop awareness, no
+side effects) motivated both LCM and GIVE-N-TAKE.
+"""
+
+
+class MorelRenvoiseResult:
+    """INSERT/DELETE sets per node."""
+
+    def __init__(self, universe, insert_nodes, delete_nodes, variables):
+        self.universe = universe
+        self.insert_nodes = insert_nodes
+        self.delete_nodes = delete_nodes
+        self.variables = variables
+
+    def insertion_count(self):
+        return sum(bin(bits).count("1") for bits in self.insert_nodes.values())
+
+    def node_insertions_for(self, element):
+        bit = self.universe.bit(element)
+        return [node for node, bits in self.insert_nodes.items() if bits & bit]
+
+
+def morel_renvoise(ifg, problem, max_iterations=200):
+    """Run Morel-Renvoise PRE for ``problem`` on ``ifg``'s CFG."""
+    cfg = ifg.cfg
+    universe = problem.universe
+    nodes = cfg.nodes()
+    top = universe.top
+
+    antloc = {n: problem.take_init(n) for n in nodes}
+    kill = {n: problem.steal_init(n) for n in nodes}
+    transp = {n: top & ~kill[n] for n in nodes}
+    comp = {n: antloc[n] & transp[n] for n in nodes}
+
+    # availability (forward, must)
+    avin, avout = _forward(cfg, nodes, comp, transp, meet_all=True)
+    # partial availability (forward, may)
+    pavin, pavout = _forward(cfg, nodes, comp, transp, meet_all=False)
+    # anticipability (backward, must)
+    antin, antout = _backward(cfg, nodes, antloc, transp)
+
+    ppin = {n: top for n in nodes}
+    ppout = {n: top for n in nodes}
+    for _ in range(max_iterations):
+        changed = False
+        for n in reversed(nodes):
+            succs = cfg.succs(n)
+            new_ppout = _meet([ppin[s] for s in succs]) if succs else 0
+            preds = cfg.preds(n)
+            pred_term = (
+                _meet([ppout[p] | avout[p] for p in preds]) if preds else top
+            )
+            new_ppin = (
+                antin[n] & pavin[n]
+                & (antloc[n] | (transp[n] & new_ppout))
+                & pred_term
+            )
+            if new_ppout != ppout[n] or new_ppin != ppin[n]:
+                ppout[n], ppin[n] = new_ppout, new_ppin
+                changed = True
+        if not changed:
+            break
+
+    insert_nodes = {}
+    delete_nodes = {}
+    for n in nodes:
+        insert = ppout[n] & ~avout[n] & (~ppin[n] | ~transp[n])
+        if insert:
+            insert_nodes[n] = insert
+        delete = antloc[n] & ppin[n]
+        if delete:
+            delete_nodes[n] = delete
+
+    variables = {
+        "AVIN": avin, "AVOUT": avout, "PAVIN": pavin, "PAVOUT": pavout,
+        "ANTIN": antin, "ANTOUT": antout, "PPIN": ppin, "PPOUT": ppout,
+    }
+    return MorelRenvoiseResult(universe, insert_nodes, delete_nodes, variables)
+
+
+def _forward(cfg, nodes, comp, transp, meet_all):
+    top = max(transp.values(), default=0)
+    into = {n: 0 for n in nodes}
+    out = {n: comp[n] for n in nodes}
+    changed = True
+    while changed:
+        changed = False
+        for n in nodes:
+            preds = cfg.preds(n)
+            if not preds:
+                new_in = 0
+            elif meet_all:
+                new_in = _meet([out[p] for p in preds])
+            else:
+                new_in = _join([out[p] for p in preds])
+            new_out = comp[n] | (new_in & transp[n])
+            if new_in != into[n] or new_out != out[n]:
+                into[n], out[n] = new_in, new_out
+                changed = True
+    return into, out
+
+
+def _backward(cfg, nodes, antloc, transp):
+    into = {n: antloc[n] for n in nodes}
+    out = {n: 0 for n in nodes}
+    changed = True
+    while changed:
+        changed = False
+        for n in reversed(nodes):
+            succs = cfg.succs(n)
+            new_out = _meet([into[s] for s in succs]) if succs else 0
+            new_in = antloc[n] | (new_out & transp[n])
+            if new_out != out[n] or new_in != into[n]:
+                out[n], into[n] = new_out, new_in
+                changed = True
+    return into, out
+
+
+def _meet(values):
+    result = None
+    for value in values:
+        result = value if result is None else (result & value)
+    return 0 if result is None else result
+
+
+def _join(values):
+    result = 0
+    for value in values:
+        result |= value
+    return result

@@ -1,0 +1,145 @@
+"""Register promotion pipeline: loads (BEFORE) + stores (AFTER)."""
+
+from repro.analysis.references import collect_accesses
+from repro.analysis.sections import PointSection, section_conflicts
+from repro.commgen.annotate import Annotator
+from repro.core.placement import Placement
+from repro.core.postpass import shift_synthetic_productions
+from repro.core.problem import Direction, Problem, Timing
+from repro.core.solver import solve
+from repro.lang.parser import parse
+from repro.lang.printer import format_program
+from repro.lang.symbols import SymbolTable
+from repro.testing.programs import AnalyzedProgram
+
+
+class RegisterPromotionResult:
+    """LOAD/STORE placements and the annotated program."""
+
+    def __init__(self, analyzed, load_problem, load_placement,
+                 store_problem, store_placement):
+        self.analyzed = analyzed
+        self.load_problem = load_problem
+        self.load_placement = load_placement
+        self.store_problem = store_problem
+        self.store_placement = store_placement
+
+    @property
+    def annotated_program(self):
+        return self.analyzed.program
+
+    def annotated_source(self):
+        return format_program(self.analyzed.program)
+
+    def load_count(self):
+        return self.load_placement.production_count(Timing.EAGER)
+
+    def store_count(self):
+        return self.store_placement.production_count(Timing.EAGER)
+
+
+def promotable(descriptor):
+    """Only single, loop-invariant elements fit in a register — 1-D
+    points and multi-dimensional references whose every dimension is a
+    loop-invariant point (``g(5, 7)``)."""
+    from repro.analysis.sections import MultiSection
+
+    if isinstance(descriptor, PointSection):
+        return True
+    if isinstance(descriptor, MultiSection):
+        return not descriptor.subs and all(
+            rng.is_point for rng in descriptor.ranges)
+    return False
+
+
+def build_load_problem(accesses):
+    """Loads are a BEFORE problem: uses take; defs give (the register
+    holds the stored value) and steal aliasing candidates."""
+    problem = Problem(direction=Direction.BEFORE)
+    points = _promotable_points(accesses)
+    for point in points:
+        problem.universe.add(point)
+    for access in accesses:
+        if promotable(access.descriptor) and not access.is_def:
+            problem.add_take(access.node, access.descriptor)
+        if access.is_def:
+            _steal_aliases(problem, access, points)
+            if promotable(access.descriptor):
+                if access.reduction is not None:
+                    # Unlike communication (where the owner combines),
+                    # a register accumulates in place: the old value is
+                    # consumed, so the initial LOAD must precede the loop.
+                    problem.add_take(access.node, access.descriptor)
+                problem.add_give(access.node, access.descriptor)
+    return problem
+
+
+def build_store_problem(accesses):
+    """Stores are an AFTER problem: defs take (the value must reach
+    memory); aliasing accesses steal (the store cannot be deferred past
+    a use or def that may touch the same location through memory)."""
+    problem = Problem(direction=Direction.AFTER)
+    points = [
+        access.descriptor for access in accesses
+        if access.is_def and promotable(access.descriptor)
+    ]
+    unique_points = []
+    for point in points:
+        if point not in unique_points:
+            unique_points.append(point)
+            problem.universe.add(point)
+    for access in accesses:
+        if access.is_def and promotable(access.descriptor):
+            problem.add_take(access.node, access.descriptor)
+        for point in unique_points:
+            if point != access.descriptor and section_conflicts(
+                    point, access.descriptor):
+                problem.add_steal(access.node, point)
+    return problem
+
+
+def _promotable_points(accesses):
+    points = []
+    for access in accesses:
+        if promotable(access.descriptor) and access.descriptor not in points:
+            points.append(access.descriptor)
+    return points
+
+
+def _steal_aliases(problem, access, points):
+    for point in points:
+        if point != access.descriptor and section_conflicts(
+                point, access.descriptor):
+            problem.add_steal(access.node, point)
+
+
+def promote_registers(source, postpass=True):
+    """Annotate ``source`` with ``LOAD``/``STORE`` register traffic.
+
+    Every access to a promotable element between its LOAD and STORE is
+    served by the register; the placements are the EAGER solutions of
+    the two problems (load as early, store as late as possible), with
+    balance guaranteeing a matching register lifetime on every path.
+    """
+    program = parse(source) if isinstance(source, str) else source
+    analyzed = AnalyzedProgram(program)
+    symbols = SymbolTable.from_program(program)
+    accesses, _ = collect_accesses(analyzed, symbols)
+
+    load_problem = build_load_problem(accesses)
+    load_solution = solve(analyzed.ifg, load_problem)
+    load_placement = Placement(analyzed.ifg, load_problem, load_solution)
+
+    store_problem = build_store_problem(accesses)
+    store_solution = solve(analyzed.ifg, store_problem)
+    store_placement = Placement(analyzed.ifg, store_problem, store_solution)
+
+    if postpass:
+        shift_synthetic_productions(load_placement)
+        shift_synthetic_productions(store_placement)
+
+    annotator = Annotator(analyzed)
+    annotator.apply_timing(store_placement, "store", Timing.EAGER)
+    annotator.apply_timing(load_placement, "load", Timing.EAGER)
+    return RegisterPromotionResult(
+        analyzed, load_problem, load_placement, store_problem, store_placement)

@@ -1,0 +1,99 @@
+"""Hand-built control flow graphs.
+
+The paper's criteria figures (4–10) and the jump-into-loop example
+(Figure 16) are given as flow graphs, not programs.  :class:`GraphSketch`
+builds such graphs from an edge list, normalizes them, and exposes nodes
+by the sketch's own names.
+"""
+
+from repro.graph.cfg import ControlFlowGraph, NodeKind
+from repro.graph.interval_graph import IntervalFlowGraph
+from repro.graph.normalize import normalize
+
+
+class GraphSketch:
+    """Build a CFG from named nodes and an edge list.
+
+    >>> sketch = GraphSketch(["a", "b", "c"], [("a", "b"), ("b", "c"), ("b", "b2")])
+    creates nodes on first mention; ``entry`` is the first node, ``exit``
+    the designated (or last) node.
+    """
+
+    def __init__(self, edges, exit_name=None, normalize_graph=True):
+        self.cfg = ControlFlowGraph()
+        self._by_name = {}
+        for src_name, dst_name in edges:
+            src = self._node(src_name)
+            dst = self._node(dst_name)
+            self.cfg.add_edge(src, dst)
+        names = list(self._by_name)
+        self.cfg.entry = self._by_name[names[0]]
+        self.cfg.exit = self._by_name[exit_name if exit_name else names[-1]]
+        if normalize_graph:
+            normalize(self.cfg)
+        self.ifg = IntervalFlowGraph(self.cfg)
+
+    def _node(self, name):
+        if name not in self._by_name:
+            self._by_name[name] = self.cfg.new_node(NodeKind.STMT, name=name)
+        return self._by_name[name]
+
+    def __getitem__(self, name):
+        """The (original, pre-normalization) node called ``name``."""
+        return self._by_name[name]
+
+    def names(self):
+        return list(self._by_name)
+
+
+def diamond():
+    """entry → branch → (left | right) → join → exit."""
+    return GraphSketch([
+        ("entry", "branch"),
+        ("branch", "left"),
+        ("branch", "right"),
+        ("left", "join"),
+        ("right", "join"),
+        ("join", "exit"),
+    ])
+
+
+def simple_loop():
+    """entry → header ⇄ body, header → exit."""
+    return GraphSketch([
+        ("entry", "header"),
+        ("header", "body"),
+        ("body", "header"),
+        ("header", "exit"),
+    ])
+
+
+def nested_loops():
+    """A doubly nested loop."""
+    return GraphSketch([
+        ("entry", "outer"),
+        ("outer", "pre"),
+        ("pre", "inner"),
+        ("inner", "body"),
+        ("body", "inner"),
+        ("inner", "post"),
+        ("post", "outer"),
+        ("outer", "exit"),
+    ])
+
+
+def loop_with_jump():
+    """A loop containing a conditional jump past the post-loop code —
+    the shape of Figures 11/16."""
+    return GraphSketch([
+        ("entry", "header"),
+        ("header", "work"),
+        ("work", "test"),
+        ("test", "latch"),
+        ("latch", "header"),
+        ("test", "landing"),     # the jump out of the loop
+        ("header", "post"),
+        ("post", "target"),
+        ("landing", "target"),
+        ("target", "exit"),
+    ])

@@ -1,0 +1,24 @@
+"""Small shared utilities: error types, ordered sets, formatting helpers."""
+
+from repro.util.errors import (
+    ReproError,
+    ParseError,
+    GraphError,
+    IrreducibleGraphError,
+    SolverError,
+    AnalysisError,
+)
+from repro.util.orderedset import OrderedSet
+from repro.util.text import indent_block, format_set
+
+__all__ = [
+    "ReproError",
+    "ParseError",
+    "GraphError",
+    "IrreducibleGraphError",
+    "SolverError",
+    "AnalysisError",
+    "OrderedSet",
+    "indent_block",
+    "format_set",
+]

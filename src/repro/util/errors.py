@@ -1,0 +1,50 @@
+"""Exception hierarchy for the repro package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything coming out of this package with a single handler.
+"""
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ParseError(ReproError):
+    """Raised by the mini-Fortran lexer/parser on malformed input.
+
+    Carries the 1-based source line and column of the offending token when
+    they are known.
+    """
+
+    def __init__(self, message, line=None, column=None):
+        self.line = line
+        self.column = column
+        if line is not None:
+            location = f"line {line}"
+            if column is not None:
+                location += f", column {column}"
+            message = f"{location}: {message}"
+        super().__init__(message)
+
+
+class GraphError(ReproError):
+    """Raised for structurally invalid flow graphs (bad edges, missing root,
+    violated normalization invariants)."""
+
+
+class IrreducibleGraphError(GraphError):
+    """Raised when a control flow graph is irreducible and the caller asked
+    for strict treatment (no node splitting)."""
+
+    def __init__(self, message, offending_nodes=()):
+        self.offending_nodes = tuple(offending_nodes)
+        super().__init__(message)
+
+
+class SolverError(ReproError):
+    """Raised when the GIVE-N-TAKE solver is misconfigured (e.g. initial
+    variables referencing unknown nodes or universe elements)."""
+
+
+class AnalysisError(ReproError):
+    """Raised by the reference/ownership analyses on unsupported input."""

@@ -1,0 +1,60 @@
+"""An insertion-ordered set.
+
+Flow-graph algorithms in this package must be deterministic: tests assert
+exact node numberings and placements, and the paper's figures use a
+deterministic PREORDER numbering.  Plain ``set`` iteration order would make
+results depend on hash seeds, so collections of nodes/edges use
+:class:`OrderedSet`, which iterates in insertion order.
+"""
+
+from collections.abc import MutableSet
+
+
+class OrderedSet(MutableSet):
+    """A set that remembers insertion order.
+
+    Backed by a dict (ordered since Python 3.7).  Supports the usual set
+    operators; binary operations preserve the left operand's order first.
+    """
+
+    def __init__(self, iterable=()):
+        self._items = dict.fromkeys(iterable)
+
+    def __contains__(self, item):
+        return item in self._items
+
+    def __iter__(self):
+        return iter(self._items)
+
+    def __len__(self):
+        return len(self._items)
+
+    def add(self, item):
+        self._items[item] = None
+
+    def discard(self, item):
+        self._items.pop(item, None)
+
+    def update(self, iterable):
+        for item in iterable:
+            self.add(item)
+
+    def copy(self):
+        return OrderedSet(self._items)
+
+    def first(self):
+        """Return the first (oldest) element; raise KeyError if empty."""
+        for item in self._items:
+            return item
+        raise KeyError("first() on an empty OrderedSet")
+
+    def __repr__(self):
+        return f"OrderedSet({list(self._items)!r})"
+
+    def __eq__(self, other):
+        if isinstance(other, (OrderedSet, set, frozenset)):
+            return set(self._items) == set(other)
+        return NotImplemented
+
+    def __hash__(self):
+        raise TypeError("OrderedSet is unhashable (it is mutable)")

@@ -1,0 +1,20 @@
+"""Text formatting helpers used by the pretty printers."""
+
+
+def indent_block(text, levels=1, width=4):
+    """Indent every non-empty line of ``text`` by ``levels * width`` spaces."""
+    pad = " " * (levels * width)
+    lines = text.split("\n")
+    return "\n".join(pad + line if line.strip() else line for line in lines)
+
+
+def format_set(items, empty="{}"):
+    """Render an iterable as ``{a, b, c}`` with elements in sorted str order.
+
+    Used for printing dataflow sets and communication argument lists in a
+    stable, diff-friendly way.
+    """
+    rendered = sorted(str(item) for item in items)
+    if not rendered:
+        return empty
+    return "{" + ", ".join(rendered) + "}"

@@ -1,0 +1,91 @@
+"""Symbolic expression tests."""
+
+import pytest
+
+from repro.analysis.expr import NonAffineError, SymExpr, SymRange
+from repro.lang.parser import parse
+from repro.util.errors import AnalysisError
+
+
+def expr_of(text):
+    return SymExpr.from_ast(parse(f"x = {text}").body[0].value)
+
+
+def test_constants_and_vars():
+    assert expr_of("5").const == 5
+    assert expr_of("5").is_constant
+    e = expr_of("k")
+    assert e.coefficient("k") == 1 and e.const == 0
+
+
+def test_affine_combination():
+    e = expr_of("2 * k + 10 - j")
+    assert e.coefficient("k") == 2
+    assert e.coefficient("j") == -1
+    assert e.const == 10
+
+
+def test_multiplication_by_constant_either_side():
+    assert expr_of("k * 3") == expr_of("3 * k")
+
+
+def test_nonaffine_rejected():
+    with pytest.raises(NonAffineError):
+        expr_of("k * j")
+    with pytest.raises(NonAffineError):
+        expr_of("k / 2")
+
+
+def test_cancellation():
+    e = expr_of("k - k + 1")
+    assert e.is_constant and e.const == 1
+
+
+def test_substitute():
+    e = expr_of("2 * k + 1")
+    result = e.substitute("k", expr_of("j + 3"))
+    assert result == expr_of("2 * j + 7")
+
+
+def test_substitute_range_positive_coefficient():
+    e = expr_of("k + 10")
+    rng = e.substitute_range("k", SymExpr.number(1), SymExpr.var("n"))
+    assert rng.lo == expr_of("11")
+    assert rng.hi == expr_of("n + 10")
+
+
+def test_substitute_range_negative_coefficient_swaps_bounds():
+    e = expr_of("10 - k")
+    rng = e.substitute_range("k", SymExpr.number(1), SymExpr.var("n"))
+    assert rng.lo == expr_of("10 - n")
+    assert rng.hi == expr_of("9")
+
+
+def test_substitute_range_absent_var_is_point():
+    e = expr_of("j + 1")
+    rng = e.substitute_range("k", SymExpr.number(1), SymExpr.var("n"))
+    assert rng.is_point
+
+
+def test_evaluate():
+    assert expr_of("2 * k + 1").evaluate({"k": 5}) == 11
+    with pytest.raises(AnalysisError):
+        expr_of("k").evaluate({})
+
+
+def test_str_rendering():
+    assert str(expr_of("k + 10")) == "k + 10"
+    assert str(expr_of("0")) == "0"
+    assert str(expr_of("2 * k")) == "2*k"
+
+
+def test_range_size():
+    rng = SymRange(expr_of("1"), expr_of("n"))
+    assert rng.size({"n": 7}) == 7
+    assert rng.size({"n": 0}) == 0  # empty on zero-trip
+
+
+def test_equality_and_hash():
+    assert expr_of("k + 1") == expr_of("1 + k")
+    assert hash(expr_of("k + 1")) == hash(expr_of("1 + k"))
+    assert SymRange(expr_of("1"), expr_of("n")) == SymRange(expr_of("1"), expr_of("n"))

@@ -1,0 +1,81 @@
+"""Reference collection and ownership tests."""
+
+from repro.analysis.ownership import OwnershipModel
+from repro.analysis.references import collect_accesses
+from repro.lang.symbols import SymbolTable
+from repro.testing.programs import FIG11_SOURCE, analyze_source
+
+
+def test_collects_reads_and_defs(fig11):
+    accesses, _ = collect_accesses(fig11)
+    by_array = {}
+    for access in accesses:
+        by_array.setdefault(access.array, []).append(access)
+    assert {a.is_def for a in by_array["y"]} == {True, False}
+    assert all(not a.is_def for a in by_array["x"])
+    # subscript arrays are recorded as reads
+    assert "a" in by_array and "b" in by_array
+
+
+def test_access_nodes_match_statements(fig11):
+    accesses, _ = collect_accesses(fig11)
+    def_access = next(a for a in accesses if a.is_def)
+    assert def_access.node is fig11.node(3)
+    assert def_access.descriptor.format() == "y(a(1:n))"
+
+
+def test_descriptors_of_fig11(fig11):
+    accesses, _ = collect_accesses(fig11)
+    formatted = {a.descriptor.format() for a in accesses if a.array in "xy"}
+    assert "x(11:n + 10)" in formatted
+    assert "y(a(1:n))" in formatted
+    assert "y(b(1:n))" in formatted
+
+
+def test_loop_context_tracks_nesting():
+    analyzed = analyze_source(
+        "real x(100)\n"
+        "do i = 1, n\n"
+        "do j = 1, m\n"
+        "u = x(i + j)\n"
+        "enddo\n"
+        "enddo"
+    )
+    accesses, _ = collect_accesses(analyzed)
+    access = next(a for a in accesses if a.array == "x")
+    assert access.context.variables() == ["i", "j"]
+    # both loop variables substituted
+    assert access.descriptor.format() == "x(2:m + n)"
+
+
+def test_ownership_replicated_never_communicates(fig11):
+    accesses, _ = collect_accesses(fig11)
+    symbols = SymbolTable.from_program(fig11.program)
+    ownership = OwnershipModel(symbols)
+    for access in accesses:
+        if access.array in ("a", "b"):  # replicated index arrays
+            assert not ownership.read_needs_communication(access)
+            assert not ownership.def_needs_writeback(access)
+
+
+def test_ownership_owner_computes_disables_writeback(fig11):
+    accesses, _ = collect_accesses(fig11)
+    symbols = SymbolTable.from_program(fig11.program)
+    strict = OwnershipModel(symbols, owner_computes=True)
+    relaxed = OwnershipModel(symbols, owner_computes=False)
+    def_access = next(a for a in accesses if a.is_def)
+    assert relaxed.def_needs_writeback(def_access)
+    assert relaxed.def_gives_locally(def_access)
+    assert not strict.def_needs_writeback(def_access)
+    assert not strict.def_gives_locally(def_access)
+
+
+def test_do_bounds_are_scanned():
+    analyzed = analyze_source(
+        "real x(100)\ndistribute x(block)\n"
+        "do i = 1, x(3)\nu = 1\nenddo"
+    )
+    accesses, _ = collect_accesses(analyzed)
+    bound_access = next(a for a in accesses if a.array == "x")
+    assert not bound_access.is_def
+    assert bound_access.node.name.startswith("do i")

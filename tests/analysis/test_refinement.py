@@ -1,0 +1,69 @@
+"""Symbolic disjointness refinement tests (§6 dependence extension)."""
+
+from repro.analysis.expr import SymExpr, SymRange
+from repro.analysis.sections import AffineSection, PointSection, section_conflicts
+from repro.commgen import generate_communication
+
+
+def affine(array, lo_text, hi_text):
+    def parse_expr(text):
+        from repro.lang.parser import parse
+        return SymExpr.from_ast(parse(f"q = {text}").body[0].value)
+
+    return AffineSection(array, SymRange(parse_expr(lo_text), parse_expr(hi_text)))
+
+
+def test_symbolic_halves_are_disjoint():
+    first = affine("x", "1", "n")
+    second = affine("x", "n + 1", "2 * n")
+    assert not section_conflicts(first, second)
+    assert not section_conflicts(second, first)
+
+
+def test_overlapping_symbolic_ranges_conflict():
+    first = affine("x", "1", "n")
+    second = affine("x", "n", "2 * n")  # shares x(n)
+    assert section_conflicts(first, second)
+
+
+def test_unknown_relation_is_conservative():
+    first = affine("x", "1", "n")
+    second = affine("x", "m", "2 * m")
+    assert section_conflicts(first, second)
+
+
+def test_refine_false_is_fully_conservative():
+    first = affine("x", "1", "n")
+    second = affine("x", "n + 1", "2 * n")
+    assert section_conflicts(first, second, refine=False)
+
+
+def test_point_vs_symbolic_range():
+    point = PointSection("x", SymExpr.number(0))
+    rng = affine("x", "1", "n")
+    assert not section_conflicts(point, rng)
+
+
+def test_refinement_avoids_false_steal_end_to_end():
+    """Defining the lower half must not invalidate a previously read,
+    provably disjoint upper half."""
+    source = """
+real x(200)
+distribute x(block)
+    do k = 1, n
+        u = x(k + n)
+    enddo
+    do i = 1, n
+        x(i) = 1
+    enddo
+    do l = 1, n
+        w = x(l + n)
+    enddo
+"""
+    refined = generate_communication(source).annotated_source()
+    conservative = generate_communication(
+        source, refine_sections=False).annotated_source()
+    # refined: one READ pair suffices (no steal in between)
+    assert refined.count("READ_Send{x(n + 1:2*n)}") == 1
+    # conservative: the def of x(1:n) steals and forces a re-read
+    assert conservative.count("READ_Send{x(n + 1:2*n)}") == 2

@@ -1,0 +1,126 @@
+"""Section descriptor and value numbering tests."""
+
+from repro.analysis.sections import (
+    AffineSection,
+    IndirectSection,
+    PointSection,
+    section_conflicts,
+)
+from repro.analysis.value_numbering import LoopContext, ValueNumbering
+from repro.analysis.expr import SymExpr, SymRange
+from repro.lang.parser import parse
+from repro.lang.symbols import SymbolTable
+from repro.lang import ast
+
+
+DECLS = "real x(100)\nreal y(100)\ninteger a(100)\ninteger b(100)\n"
+
+
+def vn_and_context(loops=()):
+    symbols = SymbolTable.from_program(parse(DECLS))
+    numbering = ValueNumbering(symbols)
+    context = LoopContext.from_loops(
+        [(var, ast.Num(lo), ast.Var(hi)) for var, lo, hi in loops])
+    return numbering, context
+
+
+def ref(text):
+    return parse(f"u = {text}").body[0].value
+
+
+def test_point_section_for_invariant_subscript():
+    numbering, context = vn_and_context()
+    descriptor = numbering.descriptor(ref("x(5)"), context)
+    assert isinstance(descriptor, PointSection)
+    assert descriptor.format() == "x(5)"
+
+
+def test_affine_section_from_loop_normalization():
+    numbering, context = vn_and_context([("k", 1, "n")])
+    descriptor = numbering.descriptor(ref("x(k + 10)"), context)
+    assert isinstance(descriptor, AffineSection)
+    assert descriptor.format() == "x(11:n + 10)"
+
+
+def test_indirect_section():
+    numbering, context = vn_and_context([("k", 1, "n")])
+    descriptor = numbering.descriptor(ref("x(a(k))"), context)
+    assert isinstance(descriptor, IndirectSection)
+    assert descriptor.format() == "x(a(1:n))"
+
+
+def test_value_number_identity_across_loop_variables():
+    # x(a(k)) in the k loop and x(a(l)) in the l loop: same value number
+    # (Figure 2's merge).
+    numbering, k_context = vn_and_context([("k", 1, "n")])
+    _, l_context = vn_and_context([("l", 1, "n")])
+    dk = numbering.descriptor(ref("x(a(k))"), k_context)
+    dl = numbering.descriptor(ref("x(a(l))"), l_context)
+    assert dk == dl
+    assert dk is numbering.descriptor(ref("x(a(l))"), l_context)  # interned
+
+
+def test_different_ranges_get_different_value_numbers():
+    numbering, c1 = vn_and_context([("k", 1, "n")])
+    _, c2 = vn_and_context([("k", 1, "m")])
+    assert numbering.descriptor(ref("x(k)"), c1) != numbering.descriptor(ref("x(k)"), c2)
+
+
+def test_nested_loop_uses_innermost_variable():
+    numbering, context = vn_and_context([("i", 1, "n"), ("j", 1, "m")])
+    descriptor = numbering.descriptor(ref("x(j)"), context)
+    assert descriptor.format() == "x(1:m)"
+
+
+def test_nonaffine_falls_back_to_whole_array():
+    numbering, context = vn_and_context([("k", 1, "n")])
+    descriptor = numbering.descriptor(ref("x(k * k)"), context)
+    assert descriptor.format() == "x(1:100)"
+
+
+def test_partial_rendering_for_early_exit():
+    numbering, context = vn_and_context([("i", 1, "n")])
+    descriptor = numbering.descriptor(ref("y(a(i))"), context)
+    assert descriptor.format() == "y(a(1:n))"
+    assert descriptor.format(partial_vars=frozenset({"i"})) == "y(a(1:i))"
+
+
+def test_conflicts_same_array_conservative():
+    numbering, context = vn_and_context([("k", 1, "n")])
+    d1 = numbering.descriptor(ref("x(a(k))"), context)
+    d2 = numbering.descriptor(ref("x(k + 10)"), context)
+    assert section_conflicts(d1, d2)
+
+
+def test_no_conflict_across_arrays():
+    numbering, context = vn_and_context()
+    d1 = numbering.descriptor(ref("x(5)"), context)
+    d2 = numbering.descriptor(ref("y(5)"), context)
+    assert not section_conflicts(d1, d2)
+
+
+def test_disjoint_constant_points_do_not_conflict():
+    numbering, context = vn_and_context()
+    d1 = numbering.descriptor(ref("x(5)"), context)
+    d2 = numbering.descriptor(ref("x(6)"), context)
+    assert not section_conflicts(d1, d2)
+    assert section_conflicts(d1, d1)
+
+
+def test_disjoint_constant_ranges_do_not_conflict():
+    a = AffineSection("x", SymRange(SymExpr.number(1), SymExpr.number(5)))
+    b = AffineSection("x", SymRange(SymExpr.number(6), SymExpr.number(9)))
+    c = AffineSection("x", SymRange(SymExpr.number(5), SymExpr.number(7)))
+    assert not section_conflicts(a, b)
+    assert section_conflicts(a, c)
+
+
+def test_sizes_under_bindings():
+    numbering, context = vn_and_context([("k", 1, "n")])
+    affine = numbering.descriptor(ref("x(k + 10)"), context)
+    indirect = numbering.descriptor(ref("x(a(k))"), context)
+    point = numbering.descriptor(ref("x(5)"), context)
+    env = {"n": 12}
+    assert affine.size(env) == 12
+    assert indirect.size(env) == 12
+    assert point.size(env) == 1

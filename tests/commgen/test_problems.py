@@ -1,0 +1,104 @@
+"""Problem construction rules (takes/steals/gives from accesses)."""
+
+from repro.analysis.ownership import OwnershipModel
+from repro.analysis.references import collect_accesses
+from repro.commgen.problems import (
+    build_read_problem,
+    build_write_problem,
+    communicated_descriptors,
+)
+from repro.lang.symbols import SymbolTable
+from repro.testing.programs import FIG11_SOURCE, analyze_source
+
+
+def setup(source, owner_computes=False):
+    analyzed = analyze_source(source)
+    symbols = SymbolTable.from_program(analyzed.program)
+    ownership = OwnershipModel(symbols, owner_computes=owner_computes)
+    accesses, _ = collect_accesses(analyzed, symbols)
+    return analyzed, ownership, accesses
+
+
+def descriptor_named(problem, text):
+    return next(d for d in problem.universe if d.format() == text)
+
+
+def test_fig11_read_problem_matches_golden_instance(fig11):
+    analyzed, ownership, accesses = setup(FIG11_SOURCE)
+    problem = build_read_problem(accesses, ownership)
+    x_k = descriptor_named(problem, "x(11:n + 10)")
+    y_a = descriptor_named(problem, "y(a(1:n))")
+    y_b = descriptor_named(problem, "y(b(1:n))")
+    node3 = analyzed.node(3)
+    node13 = analyzed.node(13)
+    u = problem.universe
+    # takes at the k-loop body
+    assert problem.take_init(node13) == u.bits([x_k, y_b])
+    # the def gives its own portion and steals the conflicting one
+    assert problem.give_init(node3) == u.bit(y_a)
+    assert problem.steal_init(node3) & u.bit(y_b)
+    # x portions are not disturbed by a def of y
+    assert not problem.steal_init(node3) & u.bit(x_k)
+
+
+def test_owner_computes_steals_own_portion():
+    _, ownership, accesses = setup(FIG11_SOURCE, owner_computes=True)
+    problem = build_read_problem(accesses, ownership)
+    y_a = descriptor_named(problem, "y(a(1:n))")
+    def_access = next(a for a in accesses if a.is_def)
+    assert problem.give_init(def_access.node) == 0
+    assert problem.steal_init(def_access.node) & problem.universe.bit(y_a)
+
+
+def test_indirection_array_def_steals_indirect_sections():
+    analyzed, ownership, accesses = setup(
+        "real x(100)\ninteger a(100)\ndistribute x(block)\n"
+        "do k = 1, n\nu = x(a(k))\nenddo\n"
+        "a(1) = 2\n"
+        "do l = 1, n\nw = x(a(l))\nenddo\n"
+    )
+    problem = build_read_problem(accesses, ownership)
+    x_a = descriptor_named(problem, "x(a(1:n))")
+    def_node = analyzed.node_named("a(1) =")
+    assert problem.steal_init(def_node) & problem.universe.bit(x_a)
+
+
+def test_write_problem_takes_at_defs(fig11):
+    analyzed, ownership, accesses = setup(FIG11_SOURCE)
+    problem = build_write_problem(accesses, ownership)
+    y_a = descriptor_named(problem, "y(a(1:n))")
+    assert problem.take_init(analyzed.node(3)) == problem.universe.bit(y_a)
+    # reads never take in the write problem
+    assert problem.take_init(analyzed.node(13)) == 0
+
+
+def test_write_problem_read_coupling(fig11):
+    from repro.core.placement import Placement
+    from repro.core.solver import solve
+
+    analyzed, ownership, accesses = setup(FIG11_SOURCE)
+    read_problem = build_read_problem(accesses, ownership)
+    read_solution = solve(analyzed.ifg, read_problem)
+    read_placement = Placement(analyzed.ifg, read_problem, read_solution)
+    problem = build_write_problem(accesses, ownership,
+                                  read_placement=read_placement)
+    y_a = descriptor_named(problem, "y(a(1:n))")
+    bit = problem.universe.bit(y_a)
+    # the read-send sites of y(b(1:n)) steal the conflicting write-back
+    stealers = [n for n in problem.annotated_nodes()
+                if problem.steal_init(n) & bit]
+    assert stealers, "read coupling produced no steals"
+
+
+def test_communicated_descriptors_order_and_uniqueness():
+    _, ownership, accesses = setup(FIG11_SOURCE)
+    descriptors = communicated_descriptors(accesses, ownership)
+    formatted = [d.format() for d in descriptors]
+    assert formatted == ["y(a(1:n))", "x(11:n + 10)", "y(b(1:n))"]
+
+
+def test_replicated_only_program_has_empty_universe():
+    _, ownership, accesses = setup("real x(100)\nu = x(1)\nx(2) = 3")
+    problem = build_read_problem(accesses, ownership)
+    assert len(problem.universe) == 0
+    assert problem.annotated_nodes() == []

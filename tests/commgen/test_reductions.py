@@ -1,0 +1,85 @@
+"""Reduction communication tests (§6: "WRITEs combined with different
+reduction operations (such as summation)")."""
+
+from repro.analysis.references import collect_accesses, detect_reduction
+from repro.commgen import generate_communication
+from repro.lang.parser import parse
+from repro.testing.programs import analyze_source
+
+SCATTER_ADD = """
+real y(100)
+integer b(100)
+distribute y(block)
+    do k = 1, n
+        y(b(k)) = y(b(k)) + 1
+    enddo
+    u = 1
+"""
+
+
+def test_detect_reduction_forms():
+    def stmt(text):
+        return parse(text).body[0]
+
+    assert detect_reduction(stmt("y(i) = y(i) + 1")) == "sum"
+    assert detect_reduction(stmt("y(i) = 2 * y(i)")) == "prod"
+    assert detect_reduction(stmt("y(i) = y(i) * 2")) == "prod"
+    assert detect_reduction(stmt("y(i) = 1 + y(i)")) == "sum"
+    assert detect_reduction(stmt("y(i) = y(j) + 1")) is None
+    assert detect_reduction(stmt("y(i) = y(i) - 1")) is None  # not commutative
+    assert detect_reduction(stmt("s = s + 1")) is None  # scalar target
+
+
+def test_scatter_add_becomes_write_sum():
+    result = generate_communication(SCATTER_ADD)
+    text = result.annotated_source()
+    assert "WRITE_Sum_Send{y(b(1:n))}" in text
+    assert "WRITE_Sum_Recv{y(b(1:n))}" in text
+    # and the old values are NOT fetched: no READ at all
+    assert "READ" not in text
+
+
+def test_reduction_does_not_give_for_free():
+    # After a reduction, a local read of the portion must re-fetch: the
+    # local value is only a partial contribution.
+    source = SCATTER_ADD + "    do l = 1, n\n        w = y(b(l))\n    enddo\n"
+    result = generate_communication(source)
+    text = result.annotated_source()
+    assert "READ_Send{y(b(1:n))}" in text
+    assert "READ_Recv{y(b(1:n))}" in text
+    # and the read happens after the write-back completes (C3 coupling):
+    lines = [line.strip() for line in text.splitlines()]
+    assert lines.index("WRITE_Sum_Recv{y(b(1:n))}") < lines.index(
+        "READ_Send{y(b(1:n))}")
+
+
+def test_mixed_plain_and_reduction_falls_back():
+    source = """
+real y(100)
+integer b(100)
+distribute y(block)
+    do k = 1, n
+        y(b(k)) = y(b(k)) + 1
+    enddo
+    do l = 1, n
+        y(b(l)) = 0
+    enddo
+"""
+    text = generate_communication(source).annotated_source()
+    assert "WRITE_Send{y(b(1:n))}" in text
+    assert "WRITE_Sum" not in text
+
+
+def test_reduction_accesses_skip_target_read():
+    analyzed = analyze_source(SCATTER_ADD)
+    accesses, _ = collect_accesses(analyzed)
+    y_accesses = [a for a in accesses if a.array == "y"]
+    assert len(y_accesses) == 1
+    assert y_accesses[0].is_def and y_accesses[0].reduction == "sum"
+
+
+def test_reduction_write_vectorized_out_of_loop():
+    result = generate_communication(SCATTER_ADD)
+    lines = [line.strip() for line in result.annotated_source().splitlines()]
+    enddo = lines.index("enddo")
+    assert lines[enddo + 1] == "WRITE_Sum_Send{y(b(1:n))}"

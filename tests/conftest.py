@@ -1,0 +1,53 @@
+"""Shared fixtures: the paper's example programs, solved instances."""
+
+import pytest
+
+from repro.core import Problem, solve
+from repro.core.placement import Placement
+from repro.core.problem import Direction
+from repro.testing.programs import (
+    FIG1_SOURCE,
+    FIG3_SOURCE,
+    FIG11_SOURCE,
+    analyze_source,
+)
+
+
+@pytest.fixture(scope="session")
+def fig11():
+    """The Figure 11 running example, analyzed (graph = Figure 12)."""
+    return analyze_source(FIG11_SOURCE)
+
+
+@pytest.fixture(scope="session")
+def fig1():
+    return analyze_source(FIG1_SOURCE)
+
+
+@pytest.fixture(scope="session")
+def fig3():
+    return analyze_source(FIG3_SOURCE)
+
+
+def make_fig11_read_problem(analyzed):
+    """The READ instance of §4: x_k/y_a/y_b over the Figure 12 graph."""
+    problem = Problem(direction=Direction.BEFORE)
+    problem.add_take(analyzed.node(13), "x_k", "y_b")
+    problem.add_give(analyzed.node(3), "y_a")
+    problem.add_steal(analyzed.node(3), "y_b")
+    return problem
+
+
+@pytest.fixture(scope="session")
+def fig11_read_problem(fig11):
+    return make_fig11_read_problem(fig11)
+
+
+@pytest.fixture(scope="session")
+def fig11_solution(fig11, fig11_read_problem):
+    return solve(fig11.ifg, fig11_read_problem)
+
+
+@pytest.fixture(scope="session")
+def fig11_placement(fig11, fig11_read_problem, fig11_solution):
+    return Placement(fig11.ifg, fig11_read_problem, fig11_solution)

@@ -1,0 +1,257 @@
+"""Per-equation behavior tests (Figure 13, Equations 1-15).
+
+Each test pins one equation's defining behavior on a minimal program,
+by inspecting the solved dataflow variables.
+"""
+
+import pytest
+
+from repro.core import Problem, solve
+from repro.core.problem import Timing
+from repro.testing.programs import analyze_source
+
+
+def solved(source, annotate):
+    analyzed = analyze_source(source)
+    problem = Problem()
+    annotate(analyzed, problem)
+    return analyzed, problem, solve(analyzed.ifg, problem)
+
+
+LOOP = "a = 1\ndo i = 1, n\ns = 1\ng = 2\nenddo\nu = x(1)"
+
+
+def test_eq1_steal_summarizes_loop_body():
+    analyzed, problem, sol = solved(
+        LOOP, lambda ap, p: p.add_steal(ap.node_named("s ="), "e"))
+    header = analyzed.node_named("do i")
+    assert "e" in sol.elements("STEAL", header)
+
+
+def test_eq1_steal_not_propagated_when_resupplied():
+    # stolen then re-taken (take counts as resupply) inside the loop:
+    # the loop as a whole does not steal — provided the resupply is not
+    # the latch itself (Eq 10's give-subtraction happens on the edge
+    # *out of* a node, and Eq 1 reads the latch's STEAL_loc raw).
+    analyzed, problem, sol = solved(
+        "do i = 1, n\ns = 1\ng = x(1)\nz = 2\nenddo",
+        lambda ap, p: (p.add_steal(ap.node_named("s ="), "e"),
+                       p.add_take(ap.node_named("g ="), "e")),
+    )
+    header = analyzed.node_named("do i")
+    assert "e" not in sol.elements("STEAL", header)
+
+
+def test_eq1_latch_resupply_is_summarized_conservatively():
+    # When the resupply IS the latch, the loop summary keeps both the
+    # steal and the give; downstream the steal wins (Eq 13), which is
+    # the only safe answer under zero-trip uncertainty.
+    analyzed, problem, sol = solved(
+        "do i = 1, n\ns = 1\ng = x(1)\nenddo",
+        lambda ap, p: (p.add_steal(ap.node_named("s ="), "e"),
+                       p.add_take(ap.node_named("g ="), "e")),
+    )
+    header = analyzed.node_named("do i")
+    assert "e" in sol.elements("STEAL", header)
+    assert "e" in sol.elements("GIVE", header)
+    from repro.core.problem import Timing as T
+    assert "e" not in sol.elements("GIVEN_out", header, T.EAGER)
+
+
+def test_eq2_give_summarizes_loop_body():
+    analyzed, problem, sol = solved(
+        LOOP, lambda ap, p: p.add_give(ap.node_named("g ="), "e"))
+    header = analyzed.node_named("do i")
+    assert "e" in sol.elements("GIVE", header)
+
+
+def test_eq2_steal_after_give_cancels():
+    analyzed, problem, sol = solved(
+        "do i = 1, n\ng = 1\ns = 2\nenddo",
+        lambda ap, p: (p.add_give(ap.node_named("g ="), "e"),
+                       p.add_steal(ap.node_named("s ="), "e")),
+    )
+    header = analyzed.node_named("do i")
+    assert "e" not in sol.elements("GIVE", header)
+    assert "e" in sol.elements("STEAL", header)
+
+
+def test_eq3_block_includes_steal_give_and_nested():
+    analyzed, problem, sol = solved(
+        LOOP,
+        lambda ap, p: (p.add_steal(ap.node_named("s ="), "e1"),
+                       p.add_give(ap.node_named("g ="), "e2")),
+    )
+    header = analyzed.node_named("do i")
+    block = sol.elements("BLOCK", header)
+    assert {"e1", "e2"} <= block
+
+
+def test_eq4_taken_out_empty_at_exit():
+    analyzed, problem, sol = solved(
+        "u = x(1)", lambda ap, p: p.add_take(ap.node_named("u ="), "e"))
+    assert sol.elements("TAKEN_out", analyzed.ifg.cfg.exit) == frozenset()
+
+
+def test_eq4_taken_out_is_path_intersection():
+    analyzed, problem, sol = solved(
+        "a = 1\nif t then\nu = x(1)\nelse\nb = 2\nendif",
+        lambda ap, p: p.add_take(ap.node_named("u ="), "e"))
+    # consumed on the then path only -> not guaranteed from the branch
+    branch = analyzed.node_named("if t")
+    assert "e" not in sol.elements("TAKEN_out", branch)
+    assert "e" not in sol.elements("TAKEN_in", analyzed.node_named("a ="))
+
+
+def test_eq4_synthetic_edges_guard_jumps():
+    # Consumption inside a loop that can be jumped past: the node before
+    # the loop must not consider it guaranteed (safety, §4.2).
+    source = (
+        "a = 1\n"
+        "do i = 1, n\n"
+        "if t goto 9\n"
+        "u = x(1)\n"
+        "enddo\n"
+        "9 b = 2\n"
+    )
+    analyzed, problem, sol = solved(
+        source, lambda ap, p: p.add_take(ap.node_named("u ="), "e"))
+    # the jump can skip u on every trip: TAKEN_out of the *header* via
+    # the synthetic edge still sees the consumption as not guaranteed
+    # before the jump test
+    before = analyzed.node_named("a =")
+    assert "e" not in sol.elements("TAKEN_out", before)
+
+
+def test_eq5_hoists_guaranteed_loop_consumption():
+    analyzed, problem, sol = solved(
+        "do i = 1, n\nu = x(1)\nenddo",
+        lambda ap, p: p.add_take(ap.node_named("u ="), "e"))
+    header = analyzed.node_named("do i")
+    assert "e" in sol.elements("TAKE", header)
+
+
+def test_eq5_steal_at_header_blocks_hoisting():
+    analyzed = analyze_source("do i = 1, n\nu = x(1)\nenddo")
+    problem = Problem()
+    problem.add_take(analyzed.node_named("u ="), "e")
+    problem.add_steal(analyzed.node_named("do i"), "e")
+    sol = solve(analyzed.ifg, problem)
+    header = analyzed.node_named("do i")
+    assert "e" not in sol.elements("TAKE", header)
+
+
+def test_eq6_taken_in_excludes_blocked():
+    analyzed, problem, sol = solved(
+        "s = 1\nu = x(1)",
+        lambda ap, p: (p.add_steal(ap.node_named("s ="), "e"),
+                       p.add_take(ap.node_named("u ="), "e")),
+    )
+    stealer = analyzed.node_named("s =")
+    # e is consumed after the steal, so it IS taken-out of the stealer,
+    # but the stealer's own BLOCK keeps it out of TAKEN_in
+    assert "e" in sol.elements("TAKEN_out", stealer)
+    assert "e" not in sol.elements("TAKEN_in", stealer)
+
+
+def test_eq9_consumption_counts_as_production():
+    analyzed, problem, sol = solved(
+        "u = x(1)\nw = 2",
+        lambda ap, p: p.add_take(ap.node_named("u ="), "e"))
+    consumer = analyzed.node_named("u =")
+    assert "e" in sol.elements("GIVE_loc", consumer)
+
+
+def test_eq10_resupply_stops_steal_propagation():
+    analyzed, problem, sol = solved(
+        "s = 1\nu = x(1)\nw = 2",
+        lambda ap, p: (p.add_steal(ap.node_named("s ="), "e"),
+                       p.add_take(ap.node_named("u ="), "e")),
+    )
+    last = analyzed.node_named("w =")
+    assert "e" not in sol.elements("STEAL_loc", last)
+    assert "e" in sol.elements("STEAL_loc", analyzed.node_named("u ="))
+
+
+def test_eq11_meet_requires_all_predecessors(fig11, fig11_solution):
+    # y_b produced on both branch paths (nodes 6 and 10) -> available at
+    # their join (node 11) in the eager solution
+    assert "y_b" in fig11_solution.elements("GIVEN_in", fig11.node(11),
+                                            Timing.EAGER)
+
+
+def test_eq11_first_child_inherits_header_minus_steal():
+    # e is available before the loop; the body steals it but w's take
+    # resupplies it (not at the latch — z follows), so the loop summary
+    # does not steal and the first child inherits the availability.
+    analyzed, problem, sol = solved(
+        "u = x(1)\ndo i = 1, n\ns = 1\nw = x(1)\nz = 2\nenddo",
+        lambda ap, p: (p.add_take(ap.node_named("u ="), "e"),
+                       p.add_steal(ap.node_named("s ="), "e"),
+                       p.add_take(ap.node_named("w ="), "e")),
+    )
+    body_first = analyzed.node_named("s =")
+    assert "e" in sol.elements("GIVEN_in", body_first, Timing.EAGER)
+
+
+def test_eq11_first_child_does_not_inherit_unresupplied_steal():
+    # same shape but nothing resupplies: the inheritance is cut by the
+    # STEAL(header) subtraction (the documented Eq 11 deviation).
+    analyzed, problem, sol = solved(
+        "u = x(1)\ndo i = 1, n\ns = 1\nw = x(1)\nz = 2\nenddo",
+        lambda ap, p: (p.add_take(ap.node_named("u ="), "e"),
+                       p.add_steal(ap.node_named("z ="), "e")),
+    )
+    body_first = analyzed.node_named("s =")
+    assert "e" not in sol.elements("GIVEN_in", body_first, Timing.EAGER)
+
+
+def test_eq12_eager_includes_downstream_lazy_does_not():
+    analyzed, problem, sol = solved(
+        "a = 1\nu = x(1)",
+        lambda ap, p: p.add_take(ap.node_named("u ="), "e"))
+    first = analyzed.node_named("a =")
+    assert "e" in sol.elements("GIVEN", first, Timing.EAGER)
+    assert "e" not in sol.elements("GIVEN", first, Timing.LAZY)
+
+
+def test_eq13_given_out_removes_steal():
+    analyzed, problem, sol = solved(
+        "u = x(1)\ns = 1\nw = x(1)",
+        lambda ap, p: (p.add_take(ap.node_named("u ="), "e"),
+                       p.add_steal(ap.node_named("s ="), "e"),
+                       p.add_take(ap.node_named("w ="), "e")),
+    )
+    stealer = analyzed.node_named("s =")
+    assert "e" not in sol.elements("GIVEN_out", stealer, Timing.EAGER)
+    # forcing re-production before w
+    assert "e" in sol.elements("RES_in", analyzed.node_named("w ="),
+                               Timing.EAGER)
+
+
+def test_eq14_res_in_is_given_minus_given_in():
+    analyzed, problem, sol = solved(
+        "a = 1\nu = x(1)",
+        lambda ap, p: p.add_take(ap.node_named("u ="), "e"))
+    entry = analyzed.ifg.cfg.entry
+    assert sol.elements("RES_in", entry, Timing.EAGER) == frozenset({"e"})
+    # downstream nodes inherit availability, so no further production
+    assert sol.bits("RES_in", analyzed.node_named("a ="), Timing.EAGER) == 0
+
+
+def test_eq15_res_out_patches_partial_availability():
+    # give on the then path only, consumer after the join: the else
+    # path's exit must produce (Eq 11's third term + Eq 15).
+    analyzed, problem, sol = solved(
+        "if t then\ng = 1\nelse\nb = 2\nendif\nu = x(1)",
+        lambda ap, p: (p.add_give(ap.node_named("g ="), "e"),
+                       p.add_take(ap.node_named("u ="), "e")),
+    )
+    producers = [
+        n for n in analyzed.ifg.real_nodes()
+        if sol.bits("RES_out", n, Timing.EAGER) or sol.bits("RES_in", n, Timing.EAGER)
+    ]
+    assert producers, "the else path must produce e"
+    give_node = analyzed.node_named("g =")
+    then_side = {give_node}
+    assert all(node not in then_side for node in producers)

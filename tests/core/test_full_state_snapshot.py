@@ -1,0 +1,97 @@
+"""Complete dataflow-state snapshot of the §4 READ instance.
+
+Every nonempty (variable, timing, element) → node-set triple of the
+Figure 12 instance, frozen.  Complements the golden-value tests (which
+pin the paper's listed values) by covering the *whole* state, so any
+equation change — however subtle — surfaces here as a diff.
+"""
+
+import pytest
+
+from repro.core import solve
+from repro.core.problem import Timing
+from repro.core.solution import SHARED_VARIABLES, TIMED_VARIABLES
+from tests.conftest import make_fig11_read_problem
+
+FULL_STATE = {
+    ("STEAL", None, "y_b"): [2, 3],
+    ("GIVE", None, "x_k"): [12],
+    ("GIVE", None, "y_a"): [2, 3],
+    ("GIVE", None, "y_b"): [12],
+    ("BLOCK", None, "x_k"): [12],
+    ("BLOCK", None, "y_a"): [2, 3],
+    ("BLOCK", None, "y_b"): [2, 3, 12],
+    ("TAKEN_out", None, "x_k"): [1, 2, 6, 7, 9, 10, 11],
+    ("TAKEN_out", None, "y_b"): [2, 6, 7, 9, 10, 11],
+    ("TAKE", None, "x_k"): [12, 13],
+    ("TAKE", None, "y_b"): [12, 13],
+    ("TAKEN_in", None, "x_k"): [1, 2, 6, 7, 9, 10, 11, 12, 13],
+    ("TAKEN_in", None, "y_b"): [6, 7, 9, 10, 11, 12, 13],
+    ("BLOCK_loc", None, "y_a"): [1, 2, 3],
+    ("BLOCK_loc", None, "y_b"): [1, 2, 3],
+    ("TAKE_loc", None, "x_k"): [1, 2, 6, 7, 9, 10, 11, 12, 13],
+    ("TAKE_loc", None, "y_b"): [6, 7, 9, 10, 11, 12, 13],
+    ("GIVE_loc", None, "x_k"): [12, 13, 14],
+    ("GIVE_loc", None, "y_a"): [2, 3, 4, 5, 6, 7, 9, 10, 11, 12, 14],
+    ("GIVE_loc", None, "y_b"): [12, 13, 14],
+    ("STEAL_loc", None, "y_b"): [2, 3, 4, 5, 6, 7, 9, 10, 11, 12],
+    ("GIVEN_in", "eager", "x_k"): [2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14],
+    ("GIVEN_in", "eager", "y_a"): [4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14],
+    ("GIVEN_in", "eager", "y_b"): [7, 8, 9, 11, 12, 13, 14],
+    ("GIVEN", "eager", "x_k"): [1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14],
+    ("GIVEN", "eager", "y_a"): [4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14],
+    ("GIVEN", "eager", "y_b"): [6, 7, 8, 9, 10, 11, 12, 13, 14],
+    ("GIVEN_out", "eager", "x_k"): [1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14],
+    ("GIVEN_out", "eager", "y_a"): [2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14],
+    ("GIVEN_out", "eager", "y_b"): [6, 7, 8, 9, 10, 11, 12, 13, 14],
+    ("RES_in", "eager", "x_k"): [1],
+    ("RES_in", "eager", "y_b"): [6, 10],
+    ("GIVEN_in", "lazy", "x_k"): [13, 14],
+    ("GIVEN_in", "lazy", "y_a"): [4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14],
+    ("GIVEN_in", "lazy", "y_b"): [13, 14],
+    ("GIVEN", "lazy", "x_k"): [12, 13, 14],
+    ("GIVEN", "lazy", "y_a"): [4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14],
+    ("GIVEN", "lazy", "y_b"): [12, 13, 14],
+    ("GIVEN_out", "lazy", "x_k"): [12, 13, 14],
+    ("GIVEN_out", "lazy", "y_a"): [2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13, 14],
+    ("GIVEN_out", "lazy", "y_b"): [12, 13, 14],
+    ("RES_in", "lazy", "x_k"): [12],
+    ("RES_in", "lazy", "y_b"): [12],
+}
+
+
+def test_complete_state_matches_snapshot(fig11):
+    problem = make_fig11_read_problem(fig11)
+    solution = solve(fig11.ifg, problem)
+
+    actual = {}
+    timings = {None: None, "eager": Timing.EAGER, "lazy": Timing.LAZY}
+    for name in SHARED_VARIABLES:
+        for element in ("x_k", "y_a", "y_b"):
+            nodes = fig11.numbers(solution.nodes_with(name, element))
+            if nodes:
+                actual[(name, None, element)] = nodes
+    for timing_name in ("eager", "lazy"):
+        for name in TIMED_VARIABLES:
+            for element in ("x_k", "y_a", "y_b"):
+                nodes = fig11.numbers(
+                    solution.nodes_with(name, element, timings[timing_name]))
+                if nodes:
+                    actual[(name, timing_name, element)] = nodes
+    assert actual == FULL_STATE
+
+
+def test_snapshot_is_internally_consistent():
+    """Cheap cross-checks inside the frozen snapshot itself."""
+    # RES_in ⊆ GIVEN − GIVEN_in at the same timing
+    for timing in ("eager", "lazy"):
+        for element in ("x_k", "y_a", "y_b"):
+            res = set(FULL_STATE.get(("RES_in", timing, element), []))
+            given = set(FULL_STATE.get(("GIVEN", timing, element), []))
+            given_in = set(FULL_STATE.get(("GIVEN_in", timing, element), []))
+            assert res == given - given_in, (timing, element)
+    # TAKEN_in ⊇ TAKE
+    for element in ("x_k", "y_b"):
+        take = set(FULL_STATE[("TAKE", None, element)])
+        taken_in = set(FULL_STATE[("TAKEN_in", None, element)])
+        assert take <= taken_in

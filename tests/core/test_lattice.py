@@ -1,0 +1,76 @@
+"""Universe / bitset lattice tests."""
+
+import pytest
+
+from repro.core.lattice import Universe, meet_over, union_over
+from repro.util.errors import SolverError
+
+
+def test_add_and_index():
+    universe = Universe()
+    assert universe.add("a") == 0
+    assert universe.add("b") == 1
+    assert universe.add("a") == 0  # idempotent
+    assert len(universe) == 2
+    assert "a" in universe and "c" not in universe
+
+
+def test_constructor_elements():
+    universe = Universe(["x", "y"])
+    assert list(universe) == ["x", "y"]
+
+
+def test_bits_and_members_roundtrip():
+    universe = Universe(["a", "b", "c"])
+    bits = universe.bits(["a", "c"])
+    assert universe.members(bits) == ["a", "c"]
+    assert universe.frozen(bits) == frozenset({"a", "c"})
+
+
+def test_bit_singleton():
+    universe = Universe(["a", "b"])
+    assert universe.bit("b") == 2
+
+
+def test_top_and_bottom():
+    universe = Universe(["a", "b", "c"])
+    assert universe.bottom == 0
+    assert universe.top == 0b111
+    assert Universe().top == 0
+
+
+def test_unknown_element_raises():
+    universe = Universe(["a"])
+    with pytest.raises(SolverError):
+        universe.bit("zzz")
+
+
+def test_element_lookup_by_index():
+    universe = Universe(["a", "b"])
+    assert universe.element(1) == "b"
+    assert universe.index("b") == 1
+
+
+def test_format_stable():
+    universe = Universe(["a", "b"])
+    assert universe.format(universe.top) == "{a, b}"
+    assert universe.format(0) == "{}"
+
+
+def test_union_over():
+    assert union_over([0b01, 0b10]) == 0b11
+    assert union_over([]) == 0
+
+
+def test_meet_over_paper_convention():
+    # The meet over *no* neighbors is the empty set, not top (paper §4).
+    assert meet_over([]) == 0
+    assert meet_over([0b11, 0b10]) == 0b10
+    assert meet_over([0b01]) == 0b01
+
+
+def test_hashable_elements_of_any_type():
+    universe = Universe()
+    universe.add(("array", 3))
+    universe.add(42)
+    assert universe.bits([("array", 3), 42]) == 0b11

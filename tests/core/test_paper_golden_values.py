@@ -1,0 +1,116 @@
+"""Every dataflow-variable membership the paper lists in §4 for the READ
+instance on the Figure 12 graph.
+
+These are the strongest correctness anchors available: the paper gives
+the exact node sets for 13 variables and 3 universe elements (x_k = the
+portion referenced by ``x(k+10)``, y_a = ``y(a(i))``, y_b = ``y(b(k))``).
+
+Three listed values are *internally inconsistent* with the paper's own
+equations and are tested against the equation-derived values instead —
+see the errata note at the bottom and DESIGN.md.
+"""
+
+import pytest
+
+from repro.core.problem import Timing
+
+
+def nodes(fig11, solution, name, element, timing=None):
+    return fig11.numbers(solution.nodes_with(name, element, timing))
+
+
+EAGER, LAZY = Timing.EAGER, Timing.LAZY
+
+GOLDEN = [
+    # §4.1 initial propagation (S1)
+    ("STEAL", "y_b", None, [2, 3]),
+    ("BLOCK", "y_a", None, [2, 3]),
+    ("TAKEN_out", "x_k", None, [1, 2, 6, 7, 9, 10, 11]),
+    ("TAKEN_out", "y_b", None, [2, 6, 7, 9, 10, 11]),
+    ("TAKE", "x_k", None, [12, 13]),
+    ("TAKE", "y_b", None, [12, 13]),
+    ("TAKEN_in", "x_k", None, [1, 2, 6, 7, 9, 10, 11, 12, 13]),
+    ("TAKEN_in", "y_b", None, [6, 7, 9, 10, 11, 12, 13]),
+    ("BLOCK_loc", "y_a", None, [1, 2, 3]),
+    ("BLOCK_loc", "y_b", None, [1, 2, 3]),
+    ("TAKE_loc", "x_k", None, [1, 2, 6, 7, 9, 10, 11, 12, 13]),
+    ("TAKE_loc", "y_b", None, [6, 7, 9, 10, 11, 12, 13]),
+    # §4.3 blocking consumption (S2)
+    ("GIVE_loc", "x_k", None, [12, 13, 14]),
+    ("GIVE_loc", "y_b", None, [12, 13, 14]),
+    # §4.4 placing production (S3)
+    ("GIVEN_in", "x_k", EAGER, list(range(2, 15))),
+    ("GIVEN_in", "y_a", EAGER, list(range(4, 15))),
+    ("GIVEN_in", "y_b", EAGER, [7, 8, 9, 11, 12, 13, 14]),
+    ("GIVEN", "x_k", EAGER, list(range(1, 15))),
+    ("GIVEN", "y_a", EAGER, list(range(4, 15))),
+    ("GIVEN", "y_b", EAGER, list(range(6, 15))),
+    ("GIVEN_out", "x_k", EAGER, list(range(1, 15))),
+    ("GIVEN_out", "y_a", EAGER, list(range(2, 15))),
+    ("GIVEN_out", "y_b", EAGER, list(range(6, 15))),
+    ("GIVEN_in", "x_k", LAZY, [13, 14]),
+    ("GIVEN_in", "y_b", LAZY, [13, 14]),
+    ("GIVEN_in", "y_a", LAZY, list(range(4, 15))),
+    ("GIVEN", "x_k", LAZY, [12, 13, 14]),
+    ("GIVEN", "y_b", LAZY, [12, 13, 14]),
+    ("GIVEN", "y_a", LAZY, list(range(4, 15))),
+    ("GIVEN_out", "x_k", LAZY, [12, 13, 14]),
+    ("GIVEN_out", "y_b", LAZY, [12, 13, 14]),
+    ("GIVEN_out", "y_a", LAZY, list(range(2, 15))),
+    # §4.5 result variables (S4): the READ_Send / READ_Recv placements
+    ("RES_in", "x_k", EAGER, [1]),
+    ("RES_in", "y_b", EAGER, [6, 10]),
+    ("RES_in", "x_k", LAZY, [12]),
+    ("RES_in", "y_b", LAZY, [12]),
+]
+
+
+@pytest.mark.parametrize(
+    "name,element,timing,expected",
+    GOLDEN,
+    ids=[f"{n}-{e}-{t.value if t else 'shared'}" for n, e, t, _ in GOLDEN],
+)
+def test_golden_value(fig11, fig11_solution, name, element, timing, expected):
+    assert nodes(fig11, fig11_solution, name, element, timing) == expected
+
+
+def test_res_out_empty_everywhere(fig11, fig11_solution):
+    # "In Figure 12, there is no production needed on exit."
+    for timing in Timing:
+        for node in fig11.ifg.real_nodes():
+            assert fig11_solution.bits("RES_out", node, timing) == 0
+
+
+def test_give_propagates_ya_for_free(fig11, fig11_solution):
+    # y(a(i)) = ... produces y_a as a side effect; GIVE summarizes the
+    # loop at its header.
+    assert "y_a" in fig11_solution.elements("GIVE", fig11.node(2))
+    assert "y_a" in fig11_solution.elements("GIVE_loc", fig11.node(3))
+
+
+# ---------------------------------------------------------------------------
+# Errata: three §4 listings conflict with the paper's own equations.
+# ---------------------------------------------------------------------------
+
+def test_errata_block_contains_kloop_header(fig11, fig11_solution):
+    """Paper lists y_b ∈ BLOCK({2,3}) only, but its own Eq 2/3 give
+    GIVE(12) ⊇ GIVE_loc(13) ∋ y_b (Eq 9 counts consumed items as
+    produced), hence y_b ∈ BLOCK(12)."""
+    assert nodes(fig11, fig11_solution, "BLOCK", "y_b") == [2, 3, 12]
+
+
+def test_errata_give_loc_propagates_past_node_11(fig11, fig11_solution):
+    """Paper lists y_a ∈ GIVE_loc({2..7, 9..11}); Eq 9's intersection
+    over PREDS^FJ(12) = {11} necessarily carries y_a into node 12 (and
+    then 14)."""
+    assert nodes(fig11, fig11_solution, "GIVE_loc", "y_a") == [
+        2, 3, 4, 5, 6, 7, 9, 10, 11, 12, 14]
+
+
+def test_errata_steal_loc_excludes_exit(fig11, fig11_solution):
+    """Paper lists y_b ∈ STEAL_loc(14), but also y_b ∈ GIVE_loc(12);
+    by Eq 10, STEAL_loc(14) ⊆ STEAL_loc(12) − GIVE_loc(12), which cannot
+    contain y_b.  The two listings are mutually inconsistent; we follow
+    the equations."""
+    assert nodes(fig11, fig11_solution, "STEAL_loc", "y_b") == [
+        2, 3, 4, 5, 6, 7, 9, 10, 11, 12]

@@ -1,0 +1,68 @@
+"""Path enumeration tests."""
+
+from repro.core.paths import enumerate_paths, path_edge_types
+from repro.graph.interval_graph import EdgeType
+from repro.testing.programs import analyze_source
+
+
+def test_straightline_single_path():
+    analyzed = analyze_source("a = 1\nb = 2")
+    paths = enumerate_paths(analyzed.ifg)
+    assert len(paths) == 1
+    assert paths[0][0] is analyzed.ifg.cfg.entry
+    assert paths[0][-1] is analyzed.ifg.cfg.exit
+
+
+def test_branch_two_paths():
+    analyzed = analyze_source("if t then\na = 1\nelse\nb = 2\nendif")
+    assert len(enumerate_paths(analyzed.ifg)) == 2
+
+
+def test_loop_trip_counts():
+    analyzed = analyze_source("do i = 1, n\na = 1\nenddo")
+    paths = enumerate_paths(analyzed.ifg, max_node_visits=3)
+    body = analyzed.node_named("a =")
+    trip_counts = sorted(p.count(body) for p in paths)
+    assert trip_counts == [0, 1, 2]  # zero-trip, one-trip, two-trip
+
+
+def test_min_trips_excludes_zero_trip():
+    analyzed = analyze_source("do i = 1, n\na = 1\nenddo")
+    paths = enumerate_paths(analyzed.ifg, max_node_visits=3, min_trips=1)
+    body = analyzed.node_named("a =")
+    assert sorted(p.count(body) for p in paths) == [1, 2]
+
+
+def test_min_trips_applies_to_nested_loops():
+    analyzed = analyze_source("do i = 1, n\ndo j = 1, n\na = 1\nenddo\nenddo")
+    paths = enumerate_paths(analyzed.ifg, max_node_visits=3, min_trips=1)
+    body = analyzed.node_named("a =")
+    assert all(p.count(body) >= 1 for p in paths)
+
+
+def test_max_paths_cap():
+    source = "\n".join("if t then\na = 1\nendif" for _ in range(12))
+    analyzed = analyze_source(source)
+    assert len(enumerate_paths(analyzed.ifg, max_paths=50)) == 50
+
+
+def test_paths_follow_real_edges(fig11):
+    for path in enumerate_paths(fig11.ifg, max_paths=30):
+        for i in range(len(path) - 1):
+            assert fig11.ifg.cfg.has_edge(path[i], path[i + 1])
+
+
+def test_path_edge_types(fig11):
+    paths = enumerate_paths(fig11.ifg, max_paths=5)
+    types = path_edge_types(fig11.ifg, paths[0])
+    assert len(types) == len(paths[0]) - 1
+    assert all(isinstance(t, EdgeType) for t in types)
+
+
+def test_goto_paths_present(fig11):
+    # some path must traverse the JUMP edge (4 -> 10)
+    node4, node10 = fig11.node(4), fig11.node(10)
+    paths = enumerate_paths(fig11.ifg)
+    assert any(
+        node10 in p and p[p.index(node10) - 1] is node4 for p in paths if node10 in p
+    )

@@ -1,0 +1,54 @@
+"""Synthetic-node post-pass tests (§5.4)."""
+
+from repro.core import Problem, check_placement, solve
+from repro.core.placement import Placement, Position
+from repro.core.postpass import shift_synthetic_productions
+from repro.core.problem import Timing
+from repro.testing.programs import analyze_source
+
+
+def test_fig11_moves_loop_exit_send_to_do_j(fig11, fig11_read_problem,
+                                            fig11_solution):
+    placement = Placement(fig11.ifg, fig11_read_problem, fig11_solution)
+    moves = shift_synthetic_productions(placement)
+    moved_pairs = {(fig11.number(a), fig11.number(b)) for a, b in moves}
+    # The send at synthetic node 6 shifts onto node 7 (before `do j`),
+    # exactly where Figure 14 prints it.
+    assert (6, 7) in moved_pairs
+    assert placement.at(fig11.node(7), Position.BEFORE, Timing.EAGER) == {"y_b"}
+    assert placement.at(fig11.node(6), Position.BEFORE, Timing.EAGER) == set()
+
+
+def test_fig11_landing_pad_production_stays(fig11, fig11_read_problem,
+                                            fig11_solution):
+    placement = Placement(fig11.ifg, fig11_read_problem, fig11_solution)
+    shift_synthetic_productions(placement)
+    # Node 10 (the goto landing pad) has no conflict-free neighbor: its
+    # successor 11 has two predecessors and its predecessor 4 has two
+    # successors.  The production must stay and materialize a block.
+    assert placement.at(fig11.node(10), Position.BEFORE, Timing.EAGER) == {"y_b"}
+
+
+def test_postpass_preserves_correctness(fig11, fig11_read_problem,
+                                        fig11_solution):
+    placement = Placement(fig11.ifg, fig11_read_problem, fig11_solution)
+    before = check_placement(fig11.ifg, fig11_read_problem, placement)
+    shift_synthetic_productions(placement)
+    after = check_placement(fig11.ifg, fig11_read_problem, placement)
+    assert after.ok(ignore=("safety",)), str(after)
+    assert len(after.by_kind("safety")) == len(before.by_kind("safety"))
+
+
+def test_no_moves_without_synthetic_productions():
+    analyzed = analyze_source("a = 1\nu = x(1)")
+    problem = Problem()
+    problem.add_take(analyzed.node_named("u ="), "x1")
+    solution = solve(analyzed.ifg, problem)
+    placement = Placement(analyzed.ifg, problem, solution)
+    assert shift_synthetic_productions(placement) == []
+
+
+def test_postpass_is_idempotent(fig11, fig11_read_problem, fig11_solution):
+    placement = Placement(fig11.ifg, fig11_read_problem, fig11_solution)
+    shift_synthetic_productions(placement)
+    assert shift_synthetic_productions(placement) == []

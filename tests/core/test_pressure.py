@@ -1,0 +1,82 @@
+"""Resource-pressure heuristic tests (§6 extension)."""
+
+from repro.core import Problem, check_placement, solve
+from repro.core.placement import Placement
+from repro.core.pressure import limit_production_span, measure_spans
+from repro.testing.programs import analyze_source
+
+
+def long_chain(length=12):
+    source = "\n".join(f"v{i} = {i}" for i in range(length)) + "\nu = x(1)"
+    analyzed = analyze_source(source)
+    problem = Problem()
+    problem.add_take(analyzed.node_named("u ="), "e")
+    return analyzed, problem
+
+
+def test_measure_spans_unlimited():
+    analyzed, problem = long_chain()
+    solution = solve(analyzed.ifg, problem)
+    placement = Placement(analyzed.ifg, problem, solution)
+    spans = measure_spans(analyzed.ifg, placement)
+    (span, eager_node, lazy_node) = spans["e"]
+    assert eager_node is analyzed.ifg.cfg.entry
+    assert lazy_node is analyzed.node_named("u =")
+    assert span == 13
+
+
+def test_limit_production_span_caps_spans():
+    analyzed, problem = long_chain()
+    solution, placement, rounds = limit_production_span(
+        analyzed.ifg, problem, max_span=4)
+    spans = measure_spans(analyzed.ifg, placement)
+    assert spans["e"][0] <= 4
+    assert rounds >= 1
+
+
+def test_limited_placement_remains_correct():
+    analyzed, problem = long_chain()
+    _, placement, _ = limit_production_span(analyzed.ifg, problem, max_span=3)
+    report = check_placement(analyzed.ifg, problem, placement)
+    assert report.ok(), str(report)
+
+
+def test_no_rounds_needed_when_already_short():
+    analyzed, problem = long_chain(length=2)
+    _, placement, rounds = limit_production_span(analyzed.ifg, problem,
+                                                 max_span=50)
+    assert rounds == 0
+
+
+def test_span_cap_trades_hiding_for_buffer_lifetime():
+    """The point of the heuristic: the region shrinks, so less latency
+    can be hidden — measurable on the simulator."""
+    from repro import ConditionPolicy, MachineModel, simulate
+    from repro.lang import ast
+
+    analyzed, problem = long_chain()
+    solution = solve(analyzed.ifg, problem)
+    wide = Placement(analyzed.ifg, problem, solution)
+
+    narrow_problem = Problem()
+    narrow_problem.add_take(analyzed.node_named("u ="), "e")
+    _, narrow, _ = limit_production_span(analyzed.ifg, narrow_problem,
+                                         max_span=3)
+
+    wide_span = measure_spans(analyzed.ifg, wide)["e"][0]
+    narrow_span = measure_spans(analyzed.ifg, narrow)["e"][0]
+    assert narrow_span < wide_span
+
+
+def test_spans_with_branches():
+    source = (
+        "a = 1\n"
+        "if t then\nb = 1\nelse\nw = 1\nendif\n"
+        "u = x(1)"
+    )
+    analyzed = analyze_source(source)
+    problem = Problem()
+    problem.add_take(analyzed.node_named("u ="), "e")
+    _, placement, _ = limit_production_span(analyzed.ifg, problem, max_span=2)
+    report = check_placement(analyzed.ifg, problem, placement)
+    assert report.ok(ignore=("redundant",)), str(report)

@@ -1,0 +1,77 @@
+"""Problem description tests."""
+
+import pytest
+
+from repro.core.problem import Direction, Problem, Timing
+from repro.core.solver import make_view
+from repro.graph.views import BackwardView, ForwardView
+from repro.util.errors import SolverError
+from repro.testing.programs import analyze_source
+
+
+def test_add_and_query():
+    analyzed = analyze_source("x = 1\ny = 2")
+    a, b = [n for n in analyzed.ifg.real_nodes() if n.kind.value == "stmt"]
+    problem = Problem()
+    problem.add_take(a, "e1", "e2")
+    problem.add_steal(b, "e1")
+    problem.add_give(b, "e3")
+    u = problem.universe
+    assert problem.take_init(a) == u.bits(["e1", "e2"])
+    assert problem.steal_init(b) == u.bit("e1")
+    assert problem.give_init(b) == u.bit("e3")
+    assert problem.take_init(b) == 0
+
+
+def test_annotated_nodes_deduplicated():
+    analyzed = analyze_source("x = 1")
+    node = next(n for n in analyzed.ifg.real_nodes() if n.kind.value == "stmt")
+    problem = Problem()
+    problem.add_take(node, "e")
+    problem.add_steal(node, "e")
+    assert problem.annotated_nodes() == [node]
+
+
+def test_block_hoisting_tracks_growing_universe():
+    analyzed = analyze_source("do i = 1, n\nx = 1\nenddo")
+    header = next(n for n in analyzed.ifg.real_nodes() if n.kind.value == "header")
+    problem = Problem()
+    problem.block_hoisting(header)          # universe is empty here
+    problem.add_take(header, "late_element")  # universe grows afterwards
+    assert problem.steal_init(header) & problem.universe.bit("late_element")
+
+
+def test_block_hoisting_specific_elements():
+    analyzed = analyze_source("do i = 1, n\nx = 1\nenddo")
+    header = next(n for n in analyzed.ifg.real_nodes() if n.kind.value == "header")
+    problem = Problem()
+    problem.add_take(header, "a", "b")
+    problem.block_hoisting(header, ["a"])
+    assert problem.steal_init(header) == problem.universe.bit("a")
+
+
+def test_validate_against_rejects_foreign_nodes():
+    analyzed = analyze_source("x = 1")
+    other = analyze_source("y = 2")
+    node = next(n for n in other.ifg.real_nodes() if n.kind.value == "stmt")
+    problem = Problem()
+    problem.add_take(node, "e")
+    view = ForwardView(analyzed.ifg)
+    with pytest.raises(SolverError):
+        problem.validate_against(view)
+
+
+def test_make_view_by_direction(fig11):
+    assert isinstance(make_view(fig11.ifg, Direction.BEFORE), ForwardView)
+    assert isinstance(make_view(fig11.ifg, Direction.AFTER), BackwardView)
+
+
+def test_default_flags():
+    problem = Problem()
+    assert problem.hoist_zero_trip is True
+    assert problem.trust_loop_side_effects is True
+    assert problem.direction is Direction.BEFORE
+
+
+def test_timing_enum_values():
+    assert {t.value for t in Timing} == {"eager", "lazy"}

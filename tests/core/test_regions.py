@@ -1,0 +1,90 @@
+"""Production-region extraction tests."""
+
+from repro.core import Problem, solve
+from repro.core.placement import Placement
+from repro.core.regions import Region, extract_regions, region_summary
+from repro.core.problem import Direction
+from repro.testing.programs import FIG11_SOURCE, analyze_source
+from tests.conftest import make_fig11_read_problem
+
+
+def regions_for(source, annotate, direction=Direction.BEFORE, **kwargs):
+    analyzed = analyze_source(source)
+    problem = Problem(direction=direction)
+    annotate(analyzed, problem)
+    solution = solve(analyzed.ifg, problem)
+    placement = Placement(analyzed.ifg, problem, solution)
+    return analyzed, extract_regions(analyzed.ifg, problem, placement, **kwargs)
+
+
+def test_straightline_window_counts_work():
+    analyzed, regions = regions_for(
+        "a = 1\nb = 2\nu = x(1)",
+        lambda ap, p: p.add_take(ap.node_named("u ="), "e"))
+    assert len(regions) == 1
+    (region,) = regions
+    assert region.element == "e"
+    assert region.work == 2  # a and b execute inside the window
+    assert not region.degenerate
+
+
+def test_degenerate_region_at_consumer():
+    analyzed, regions = regions_for(
+        "s = 1\nu = x(1)",
+        lambda ap, p: (p.add_steal(ap.node_named("s ="), "e"),
+                       p.add_take(ap.node_named("u ="), "e")))
+    assert all(r.degenerate for r in regions)
+
+
+def test_every_path_yields_a_region_per_element(fig11, fig11_read_problem,
+                                                fig11_placement):
+    regions = extract_regions(fig11.ifg, fig11_read_problem, fig11_placement,
+                              max_paths=50)
+    # x_k's region exists on every path; y_b too (send at 6 or at 10)
+    by_element = {}
+    for region in regions:
+        by_element.setdefault(str(region.element), set()).add(region.path_index)
+    assert by_element["x_k"] == by_element["y_b"]
+    # x_k's window spans the i loop: positive work whenever any loop
+    # iterates (only the all-loops-zero-trip paths are degenerate)
+    x_k_regions = [r for r in regions if str(r.element) == "x_k"]
+    assert sum(1 for r in x_k_regions if r.work > 0) > len(x_k_regions) / 2
+    from repro.core.regions import region_summary
+    _, mean_work, _ = region_summary(x_k_regions)
+    assert mean_work > 1.0
+
+
+def test_after_problem_regions():
+    analyzed, regions = regions_for(
+        "u = x(1)\na = 1\nb = 2",
+        lambda ap, p: p.add_take(ap.node_named("u ="), "x1"),
+        direction=Direction.AFTER)
+    assert len(regions) == 1
+    assert regions[0].work == 2  # the write-back window covers a and b
+
+
+def test_region_summary():
+    analyzed, regions = regions_for(
+        "a = 1\nu = x(1)",
+        lambda ap, p: p.add_take(ap.node_named("u ="), "e"))
+    count, mean_work, degenerate_share = region_summary(regions)
+    assert count == 1
+    assert mean_work == 1.0
+    assert degenerate_share == 0.0
+    assert region_summary([]) == (0, 0.0, 0.0)
+
+
+def test_atomic_placement_is_all_degenerate():
+    # emulate atomicity: both timings at the consumer
+    from repro.core.placement import Position
+    from repro.core.problem import Timing
+
+    analyzed = analyze_source("a = 1\nu = x(1)")
+    problem = Problem()
+    consumer = analyzed.node_named("u =")
+    problem.add_take(consumer, "e")
+    placement = Placement.empty(analyzed.ifg, problem)
+    placement.add(consumer, Position.BEFORE, Timing.EAGER, "e")
+    placement.add(consumer, Position.BEFORE, Timing.LAZY, "e")
+    regions = extract_regions(analyzed.ifg, problem, placement)
+    assert regions and all(r.degenerate for r in regions)

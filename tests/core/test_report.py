@@ -1,0 +1,66 @@
+"""Report module tests."""
+
+from repro.core.report import (
+    membership_listing,
+    placement_listing,
+    solution_report,
+    span_listing,
+)
+
+
+def test_membership_listing_matches_paper_style(fig11, fig11_solution):
+    lines = membership_listing(fig11, fig11_solution, variables=["STEAL"])
+    assert "y_b ∈ STEAL({2, 3})" in lines
+
+
+def test_membership_listing_timed_variables(fig11, fig11_solution):
+    lines = membership_listing(fig11, fig11_solution, variables=["RES_in"])
+    assert "x_k ∈ RES_in^eager({1})" in lines
+    assert "y_b ∈ RES_in^eager({6, 10})" in lines
+    assert "x_k ∈ RES_in^lazy({12})" in lines
+
+
+def test_placement_listing(fig11, fig11_placement):
+    lines = placement_listing(fig11, fig11_placement)
+    assert any("node   1 before eager  {x_k}" in line.replace("eager", "eager ")
+               or "eager" in line for line in lines)
+    assert len(lines) == 4
+
+
+def test_span_listing(fig11, fig11_placement):
+    lines = span_listing(fig11, fig11_placement)
+    assert lines
+    assert all("span" in line for line in lines)
+
+
+def test_full_report(fig11, fig11_read_problem, fig11_solution, fig11_placement):
+    text = solution_report(fig11, fig11_read_problem, fig11_solution,
+                           fig11_placement, title="READ")
+    assert "=== READ ===" in text
+    assert "universe:" in text
+    assert "initial variables:" in text
+    assert "region spans:" in text
+
+
+def test_report_without_placement(fig11, fig11_read_problem, fig11_solution):
+    text = solution_report(fig11, fig11_read_problem, fig11_solution)
+    assert "placements:" not in text
+
+
+def test_cli_explain(tmp_path):
+    import io
+
+    from repro.cli import main
+    from repro.testing.programs import FIG11_SOURCE
+
+    path = tmp_path / "f.f"
+    path.write_text(FIG11_SOURCE)
+    out = io.StringIO()
+    assert main(["explain", str(path)], out=out) == 0
+    text = out.getvalue()
+    assert "READ problem (BEFORE)" in text
+    assert "WRITE problem (AFTER)" in text
+    assert "RES_in^eager" in text
+    out = io.StringIO()
+    assert main(["explain", str(path), "--problem", "read"], out=out) == 0
+    assert "WRITE problem" not in out.getvalue()

@@ -1,0 +1,66 @@
+"""Solution store API tests."""
+
+import pytest
+
+from repro.core import Problem, solve
+from repro.core.problem import Timing
+from repro.core.solution import SHARED_VARIABLES, TIMED_VARIABLES, Solution
+from repro.graph.views import ForwardView
+from repro.testing.programs import analyze_source
+
+
+@pytest.fixture
+def small():
+    analyzed = analyze_source("a = 1\nu = x(1)")
+    problem = Problem()
+    problem.add_take(analyzed.node_named("u ="), "e")
+    return analyzed, problem, solve(analyzed.ifg, problem)
+
+
+def test_variable_name_sets():
+    assert len(SHARED_VARIABLES) == 10
+    assert len(TIMED_VARIABLES) == 5
+    assert "TAKE" in SHARED_VARIABLES and "RES_in" in TIMED_VARIABLES
+
+
+def test_bits_default_to_empty(small):
+    analyzed, problem, solution = small
+    node = analyzed.node_named("a =")
+    fresh = Solution(problem, ForwardView(analyzed.ifg))
+    assert fresh.bits("TAKE", node) == 0
+
+
+def test_timed_variable_requires_timing(small):
+    analyzed, problem, solution = small
+    node = analyzed.node_named("u =")
+    with pytest.raises(KeyError):
+        solution.bits("RES_in", node)  # no timing given
+
+
+def test_elements_roundtrip(small):
+    analyzed, problem, solution = small
+    node = analyzed.node_named("u =")
+    assert solution.elements("TAKE", node) == frozenset({"e"})
+
+
+def test_nodes_with(small):
+    analyzed, problem, solution = small
+    nodes = solution.nodes_with("RES_in", "e", Timing.EAGER)
+    assert nodes == [analyzed.ifg.cfg.entry]
+
+
+def test_format_node_lists_all_variables(small):
+    analyzed, problem, solution = small
+    text = solution.format_node(analyzed.node_named("u ="))
+    for name in SHARED_VARIABLES:
+        assert name in text
+    assert "RES_in^eager" in text and "RES_in^lazy" in text
+
+
+def test_set_bits_overwrites(small):
+    analyzed, problem, solution = small
+    node = analyzed.node_named("a =")
+    solution.set_bits("TAKE", node, 0b1)
+    assert solution.bits("TAKE", node) == 0b1
+    solution.set_bits("TAKE", node, 0)
+    assert solution.bits("TAKE", node) == 0

@@ -1,0 +1,185 @@
+"""Solver behavior on small canonical shapes — these mirror the paper's
+criteria Figures 4–10 (each figure's *right side* is what GIVE-N-TAKE
+must produce)."""
+
+import pytest
+
+from repro.core import Problem, solve
+from repro.core.placement import Placement, Position
+from repro.core.problem import Direction, Timing
+from repro.testing.programs import analyze_source
+
+
+def placed(source, build_problem):
+    analyzed = analyze_source(source)
+    problem = Problem()
+    build_problem(analyzed, problem)
+    solution = solve(analyzed.ifg, problem)
+    return analyzed, problem, Placement(analyzed.ifg, problem, solution)
+
+
+def node_named(analyzed, prefix):
+    return analyzed.node_named(prefix)
+
+
+def eager_nodes(analyzed, placement, element):
+    return [
+        p.node for p in placement.productions(Timing.EAGER) if element in p.elements
+    ]
+
+
+def lazy_nodes(analyzed, placement, element):
+    return [
+        p.node for p in placement.productions(Timing.LAZY) if element in p.elements
+    ]
+
+
+def test_straightline_eager_at_entry_lazy_at_consumer():
+    analyzed, problem, placement = placed(
+        "a = 1\nb = 2\nu = x(1)",
+        lambda ap, p: p.add_take(node_named(ap, "u ="), "x1"),
+    )
+    (eager,) = eager_nodes(analyzed, placement, "x1")
+    (lazy,) = lazy_nodes(analyzed, placement, "x1")
+    assert eager.kind.value == "entry"          # as early as possible (O3)
+    assert lazy is node_named(analyzed, "u =")  # as late as possible (O3')
+
+
+def test_production_placed_after_steal():
+    analyzed, problem, placement = placed(
+        "a = 1\nb = 2\nu = x(1)",
+        lambda ap, p: (
+            p.add_take(node_named(ap, "u ="), "x1"),
+            p.add_steal(node_named(ap, "b ="), "x1"),
+        ),
+    )
+    (eager,) = eager_nodes(analyzed, placement, "x1")
+    # Cannot send above the destroyer.
+    assert eager is node_named(analyzed, "u =")
+
+
+def test_figure5_safety_no_production_on_consumer_free_branch():
+    # take only in the then branch: the else path must stay clean (C2).
+    analyzed, problem, placement = placed(
+        "if t then\nu = x(1)\nelse\nw = 2\nendif",
+        lambda ap, p: p.add_take(node_named(ap, "u ="), "x1"),
+    )
+    for production in placement.productions():
+        assert production.node is not node_named(analyzed, "w =")
+    # everything lands on the then side (the branch node's take path)
+    then_node = node_named(analyzed, "u =")
+    assert eager_nodes(analyzed, placement, "x1") == [then_node]
+
+
+def test_figure6_sufficiency_production_on_both_paths():
+    # consumer after the join: each incoming path needs production (C3).
+    analyzed, problem, placement = placed(
+        "if t then\na = 1\nelse\nb = 2\nendif\nu = x(1)",
+        lambda ap, p: p.add_take(node_named(ap, "u ="), "x1"),
+    )
+    # hoisted above the branch: one production, covering both paths (O2)
+    (eager,) = eager_nodes(analyzed, placement, "x1")
+    assert eager.kind.value == "entry"
+
+
+def test_figure7_no_reproduction_of_available_items():
+    # two consumers in a row: produce once (O1).
+    analyzed, problem, placement = placed(
+        "u = x(1)\nw = x(1)",
+        lambda ap, p: (
+            p.add_take(node_named(ap, "u ="), "x1"),
+            p.add_take(node_named(ap, "w ="), "x1"),
+        ),
+    )
+    assert len(eager_nodes(analyzed, placement, "x1")) == 1
+    assert len(lazy_nodes(analyzed, placement, "x1")) == 1
+
+
+def test_figure8_single_producer_hoisted_above_branch():
+    # consumers on both branches: hoist one production above (O2).
+    analyzed, problem, placement = placed(
+        "if t then\nu = x(1)\nelse\nw = x(1)\nendif",
+        lambda ap, p: (
+            p.add_take(node_named(ap, "u ="), "x1"),
+            p.add_take(node_named(ap, "w ="), "x1"),
+        ),
+    )
+    eager = eager_nodes(analyzed, placement, "x1")
+    assert len(eager) == 1
+    assert eager[0].kind.value == "entry"
+
+
+def test_give_suppresses_production():
+    # Figure 3 flavor: a free production satisfies the consumer.
+    analyzed, problem, placement = placed(
+        "a = 1\nu = x(1)",
+        lambda ap, p: (
+            p.add_give(node_named(ap, "a ="), "x1"),
+            p.add_take(node_named(ap, "u ="), "x1"),
+        ),
+    )
+    assert placement.productions() == []
+
+
+def test_give_on_one_branch_only_balances_via_res_out():
+    # give on the then path only; consumer after the join.  The else
+    # path needs production, and balance must hold on both paths.
+    analyzed, problem, placement = placed(
+        "if t then\na = 1\nelse\nb = 2\nendif\nu = x(1)",
+        lambda ap, p: (
+            p.add_give(node_named(ap, "a ="), "x1"),
+            p.add_take(node_named(ap, "u ="), "x1"),
+        ),
+    )
+    from repro.core import check_placement
+    report = check_placement(analyzed.ifg, problem, placement)
+    assert report.ok(ignore=("safety",)), str(report)
+    # and nothing is produced on the give path (no redundancy)
+    give_node = node_named(analyzed, "a =")
+    for production in placement.productions():
+        assert production.node is not give_node
+
+
+def test_loop_consumption_hoisted_out_of_zero_trip_loop():
+    # Figure 2 flavor: production hoisted above a potentially zero-trip
+    # loop, receive still before the loop (once), not per iteration.
+    analyzed, problem, placement = placed(
+        "a = 1\ndo k = 1, n\nu = x(k)\nenddo",
+        lambda ap, p: p.add_take(node_named(ap, "u ="), "xk"),
+    )
+    (eager,) = eager_nodes(analyzed, placement, "xk")
+    (lazy,) = lazy_nodes(analyzed, placement, "xk")
+    assert eager.kind.value == "entry"          # above the loop, latency hidden
+    assert lazy is node_named(analyzed, "do k")  # right before the loop
+    (lazy_production,) = [p for p in placement.productions(Timing.LAZY)]
+    assert lazy_production.position is Position.BEFORE
+
+
+def test_block_hoisting_keeps_production_inside_loop():
+    analyzed = analyze_source("a = 1\ndo k = 1, n\nu = x(k)\nenddo")
+    problem = Problem()
+    consumer = analyzed.node_named("u =")
+    problem.add_take(consumer, "xk")
+    problem.block_hoisting(analyzed.node_named("do k"))
+    solution = solve(analyzed.ifg, problem)
+    placement = Placement(analyzed.ifg, problem, solution)
+    for production in placement.productions():
+        assert production.node is consumer
+
+
+def test_steal_inside_loop_forces_reproduction_each_iteration():
+    analyzed, problem, placement = placed(
+        "do k = 1, n\ns = 1\nu = x(k)\nenddo",
+        lambda ap, p: (
+            p.add_steal(node_named(ap, "s ="), "xk"),
+            p.add_take(node_named(ap, "u ="), "xk"),
+        ),
+    )
+    # production must stay inside the loop, between the steal and the take
+    for production in placement.productions():
+        assert production.node is node_named(analyzed, "u =")
+
+
+def test_solution_variable_dump(fig11, fig11_solution):
+    text = fig11_solution.format_node(fig11.node(13))
+    assert "TAKE" in text and "GIVEN^eager" in text

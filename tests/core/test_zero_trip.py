@@ -1,0 +1,84 @@
+"""Zero-trip loop semantics: hoisting, blocking, and the strict mode."""
+
+from repro.core import Problem, check_placement, solve
+from repro.core.placement import Placement
+from repro.core.problem import Direction
+from repro.testing.programs import analyze_source
+
+
+SOURCE = "a = 1\ndo k = 1, n\nu = x(k)\nenddo"
+
+
+def run(hoist, trust, min_trips):
+    analyzed = analyze_source(SOURCE)
+    problem = Problem(hoist_zero_trip=hoist, trust_loop_side_effects=trust)
+    problem.add_take(analyzed.node_named("u ="), "xk")
+    solution = solve(analyzed.ifg, problem)
+    placement = Placement(analyzed.ifg, problem, solution)
+    report = check_placement(analyzed.ifg, problem, placement,
+                             min_trips=min_trips)
+    return analyzed, placement, report
+
+
+def test_default_hoisting_overproduces_only_on_zero_trip_paths():
+    analyzed, placement, report_all = run(True, True, min_trips=0)
+    assert report_all.by_kind("safety")         # the zero-trip path
+    assert report_all.ok(ignore=("safety",))
+    _, _, report_hot = run(True, True, min_trips=1)
+    assert report_hot.ok(), str(report_hot)     # strict C2 on >=1-trip paths
+
+
+def test_no_hoist_mode_is_strictly_safe_on_all_paths():
+    analyzed, placement, report = run(False, False, min_trips=0)
+    # Only O1 redundancy remains (per-iteration re-production is the
+    # documented cost of blocking regions at loop boundaries).
+    assert report.ok(ignore=("redundant",)), str(report)
+    # and the production indeed stays inside the loop
+    consumer = analyzed.node_named("u =")
+    assert all(p.node is consumer for p in placement.productions())
+
+
+def test_per_header_blocking_equivalent_to_global_for_single_loop():
+    analyzed = analyze_source(SOURCE)
+    problem = Problem()
+    problem.add_take(analyzed.node_named("u ="), "xk")
+    problem.block_hoisting(analyzed.node_named("do k"))
+    solution = solve(analyzed.ifg, problem)
+    placement = Placement(analyzed.ifg, problem, solution)
+    report = check_placement(analyzed.ifg, problem, placement, min_trips=0)
+    assert report.ok(), str(report)
+
+
+def test_untrusted_side_effects_reproduce_after_loop():
+    # A give inside a possibly zero-trip loop must not satisfy a
+    # consumer after the loop in strict mode.
+    source = "do i = 1, n\ng = 1\nenddo\nu = x(1)"
+    analyzed = analyze_source(source)
+    problem = Problem(trust_loop_side_effects=False)
+    problem.add_give(analyzed.node_named("g ="), "x1")
+    problem.add_take(analyzed.node_named("u ="), "x1")
+    solution = solve(analyzed.ifg, problem)
+    placement = Placement(analyzed.ifg, problem, solution)
+    report = check_placement(analyzed.ifg, problem, placement, min_trips=0)
+    # strict mode may re-produce (redundantly on 1-trip paths) but is
+    # sufficient everywhere
+    assert not report.by_kind("sufficiency"), str(report)
+    assert placement.productions()  # it did have to produce
+
+
+def test_trusted_side_effects_skip_production_but_fail_zero_trip():
+    source = "do i = 1, n\ng = 1\nenddo\nu = x(1)"
+    analyzed = analyze_source(source)
+    problem = Problem()  # defaults: trust side effects
+    problem.add_give(analyzed.node_named("g ="), "x1")
+    problem.add_take(analyzed.node_named("u ="), "x1")
+    solution = solve(analyzed.ifg, problem)
+    placement = Placement(analyzed.ifg, problem, solution)
+    # the paper's semantics: no production at all (the give covers it) ...
+    assert placement.productions() == []
+    # ... which is exact on >=1-trip paths,
+    assert check_placement(analyzed.ifg, problem, placement, min_trips=1).ok()
+    # and (knowingly) insufficient on the zero-trip path for atomic
+    # elements — loop-parametric elements are empty there instead.
+    report = check_placement(analyzed.ifg, problem, placement, min_trips=0)
+    assert report.by_kind("sufficiency")

@@ -1,0 +1,111 @@
+"""BackwardView vs an explicitly reversed graph.
+
+For jump-free programs the paper's reversal story is exact: an AFTER
+problem on G equals a BEFORE problem on reverse(G).  We build the
+reversed CFG by hand, run the ordinary forward machinery on it, and
+compare the resulting placements position by position.
+"""
+
+import pytest
+
+from repro.core import Problem, solve
+from repro.core.placement import Placement, Position
+from repro.core.problem import Direction, Timing
+from repro.graph.cfg import ControlFlowGraph
+from repro.graph.interval_graph import IntervalFlowGraph
+from repro.graph.normalize import validate_normalized
+from repro.testing.generator import random_analyzed_program, random_problem
+from repro.testing.programs import analyze_source
+
+
+def reverse_cfg(cfg):
+    """A fresh CFG with every edge reversed; returns (reversed_cfg,
+    node mapping original -> copy)."""
+    reversed_cfg = ControlFlowGraph()
+    mapping = {}
+    for node in cfg.nodes():
+        mapping[node] = reversed_cfg.new_node(node.kind, stmt=node.stmt,
+                                              name=node.name)
+    for src, dst in cfg.edges():
+        reversed_cfg.add_edge(mapping[dst], mapping[src])
+    reversed_cfg.entry = mapping[cfg.exit]
+    reversed_cfg.exit = mapping[cfg.entry]
+    # tie-break order: reversed program order keeps preorder sensible
+    reversed_cfg._order.reverse()
+    return reversed_cfg, mapping
+
+
+def compare(analyzed, build_problem):
+    # AFTER problem on the original graph
+    after_problem = Problem(direction=Direction.AFTER)
+    build_problem(after_problem, lambda node: node)
+    after_solution = solve(analyzed.ifg, after_problem)
+    after_placement = Placement(analyzed.ifg, after_problem, after_solution)
+
+    # BEFORE problem on the explicitly reversed graph
+    reversed_cfg, mapping = reverse_cfg(analyzed.ifg.cfg)
+    validate_normalized(reversed_cfg)
+    reversed_ifg = IntervalFlowGraph(reversed_cfg)
+    before_problem = Problem(direction=Direction.BEFORE)
+    build_problem(before_problem, lambda node: mapping[node])
+    before_solution = solve(reversed_ifg, before_problem)
+    before_placement = Placement(reversed_ifg, before_problem, before_solution)
+
+    # positions mirror: AFTER@original-AFTER == BEFORE@reversed-BEFORE
+    for node in analyzed.ifg.real_nodes():
+        copy = mapping[node]
+        for timing in Timing:
+            assert after_placement.at(node, Position.AFTER, timing) == \
+                before_placement.at(copy, Position.BEFORE, timing), (node, timing)
+            assert after_placement.at(node, Position.BEFORE, timing) == \
+                before_placement.at(copy, Position.AFTER, timing), (node, timing)
+
+
+def test_straightline_equivalence():
+    analyzed = analyze_source("u = x(1)\na = 1\nb = 2")
+
+    def build(problem, map_node):
+        problem.add_take(map_node(analyzed.node_named("u =")), "e")
+
+    compare(analyzed, build)
+
+
+def test_branch_equivalence():
+    analyzed = analyze_source(
+        "if t then\nu = x(1)\nelse\nw = x(1)\nendif\nz = 1")
+
+    def build(problem, map_node):
+        problem.add_take(map_node(analyzed.node_named("u =")), "e")
+        problem.add_take(map_node(analyzed.node_named("w =")), "e")
+        problem.add_steal(map_node(analyzed.node_named("z =")), "e")
+
+    compare(analyzed, build)
+
+
+def test_loop_equivalence():
+    analyzed = analyze_source("do i = 1, n\nu = x(1)\nenddo\na = 1")
+
+    def build(problem, map_node):
+        problem.add_take(map_node(analyzed.node_named("u =")), "e")
+
+    compare(analyzed, build)
+
+
+@pytest.mark.parametrize("seed", range(6))
+def test_random_jumpfree_equivalence(seed):
+    analyzed = random_analyzed_program(seed, size=12, goto_probability=0.0)
+    problem_template = random_problem(analyzed, seed=seed + 2)
+    if not problem_template.annotated_nodes():
+        pytest.skip("empty instance")
+
+    def build(problem, map_node):
+        universe = problem_template.universe
+        for node in analyzed.ifg.real_nodes():
+            for element in universe.members(problem_template.take_init(node)):
+                problem.add_take(map_node(node), element)
+            for element in universe.members(problem_template.steal_init(node)):
+                problem.add_steal(map_node(node), element)
+            for element in universe.members(problem_template.give_init(node)):
+                problem.add_give(map_node(node), element)
+
+    compare(analyzed, build)

@@ -1,0 +1,130 @@
+"""CFG builder tests (AST → raw graph)."""
+
+import pytest
+
+from repro.graph.builder import build_cfg
+from repro.graph.cfg import NodeKind
+from repro.lang.parser import parse
+from repro.util.errors import GraphError
+
+
+def build(source):
+    return build_cfg(parse(source))
+
+
+def kinds_in_order(cfg):
+    return [n.kind for n in cfg.nodes()]
+
+
+def test_straight_line():
+    cfg = build("x = 1\ny = 2")
+    assert kinds_in_order(cfg) == [
+        NodeKind.ENTRY, NodeKind.STMT, NodeKind.STMT, NodeKind.EXIT]
+    nodes = cfg.nodes()
+    assert cfg.succs(nodes[0]) == [nodes[1]]
+    assert cfg.succs(nodes[2]) == [nodes[3]]
+
+
+def test_empty_program_entry_to_exit():
+    cfg = build("")
+    assert cfg.succs(cfg.entry) == [cfg.exit]
+
+
+def test_declarations_produce_no_nodes():
+    cfg = build("real x(10)\nparameter n = 2\nx(1) = 1")
+    assert sum(1 for n in cfg.nodes() if n.kind is NodeKind.STMT) == 1
+
+
+def test_if_then_else_shape():
+    cfg = build("if t then\nx = 1\nelse\ny = 2\nendif\nz = 3")
+    branch = next(n for n in cfg.nodes() if n.name.startswith("if"))
+    assert len(cfg.succs(branch)) == 2
+    join = next(n for n in cfg.nodes() if n.name.startswith("z ="))
+    assert len(cfg.preds(join)) == 2
+
+
+def test_if_without_else_falls_through():
+    cfg = build("if t then\nx = 1\nendif\nz = 3")
+    branch = next(n for n in cfg.nodes() if n.name.startswith("if"))
+    join = next(n for n in cfg.nodes() if n.name.startswith("z ="))
+    assert join in cfg.succs(branch)
+
+
+def test_do_loop_shape():
+    cfg = build("do i = 1, n\nx = 1\nenddo\ny = 2")
+    header = next(n for n in cfg.nodes() if n.kind is NodeKind.HEADER)
+    body = next(n for n in cfg.nodes() if n.name.startswith("x ="))
+    after = next(n for n in cfg.nodes() if n.name.startswith("y ="))
+    assert set(cfg.succs(header)) == {body, after}
+    assert cfg.succs(body) == [header]
+
+
+def test_empty_do_loop_gets_latch():
+    cfg = build("do i = 1, n\nenddo")
+    header = next(n for n in cfg.nodes() if n.kind is NodeKind.HEADER)
+    latch = next(n for n in cfg.nodes() if n.kind is NodeKind.LATCH)
+    assert cfg.succs(latch) == [header]
+    assert latch in cfg.succs(header)
+
+
+def test_goto_creates_label_node_and_edge():
+    cfg = build("if t goto 9\nx = 1\n9 y = 2")
+    label = next(n for n in cfg.nodes() if n.kind is NodeKind.LABEL)
+    jump = next(n for n in cfg.nodes() if n.name.startswith("if"))
+    assert label in cfg.succs(jump)
+    assert len(cfg.preds(label)) == 2  # fall-through path and the jump
+
+
+def test_label_without_goto_gets_no_label_node():
+    cfg = build("9 x = 1")
+    assert all(n.kind is not NodeKind.LABEL for n in cfg.nodes())
+
+
+def test_unconditional_goto_has_no_fallthrough():
+    cfg = build("goto 9\nx = 1\n9 y = 2")
+    jump = next(n for n in cfg.nodes() if n.name.startswith("goto"))
+    label = next(n for n in cfg.nodes() if n.kind is NodeKind.LABEL)
+    assert cfg.succs(jump) == [label]
+    dead = next(n for n in cfg.nodes() if n.name.startswith("x ="))
+    assert cfg.preds(dead) == []  # unreachable; normalize() prunes it
+
+
+def test_undefined_goto_target_raises():
+    with pytest.raises(GraphError):
+        build("goto 42")
+
+
+def test_duplicate_goto_target_label_raises():
+    with pytest.raises(GraphError):
+        build("goto 9\n9 a = 1\n9 b = 2")
+
+
+def test_duplicate_label_without_goto_is_harmless():
+    # labels that no goto targets get no label node and may repeat
+    cfg = build("9 a = 1\n9 b = 2")
+    assert all(n.kind is not NodeKind.LABEL for n in cfg.nodes())
+
+
+def test_goto_out_of_loop():
+    cfg = build("do i = 1, n\nif t goto 7\nenddo\n7 x = 1")
+    jump = next(n for n in cfg.nodes() if n.name.startswith("if"))
+    label = next(n for n in cfg.nodes() if n.kind is NodeKind.LABEL)
+    assert label in cfg.succs(jump)
+
+
+def test_statement_nodes_reference_ast():
+    program = parse("x = 1")
+    cfg = build_cfg(program)
+    stmt_node = next(n for n in cfg.nodes() if n.kind is NodeKind.STMT)
+    assert stmt_node.stmt is program.body[0]
+
+
+def test_nested_if_in_loop():
+    cfg = build(
+        "do i = 1, n\n"
+        "if t then\nx = 1\nelse\ny = 2\nendif\n"
+        "enddo"
+    )
+    header = next(n for n in cfg.nodes() if n.kind is NodeKind.HEADER)
+    # both branch ends return to the header
+    assert len([p for p in cfg.preds(header) if p.kind is NodeKind.STMT]) >= 2

@@ -1,0 +1,31 @@
+"""Dot exporter tests."""
+
+from repro.graph.dot import cfg_to_dot, interval_graph_to_dot
+from repro.graph.traversal import preorder_numbering
+
+
+def test_cfg_dot_contains_nodes_and_edges(fig11):
+    text = cfg_to_dot(fig11.ifg.cfg)
+    assert text.startswith("digraph")
+    assert text.rstrip().endswith("}")
+    assert "->" in text
+    assert "style=dashed" in text  # synthetic nodes
+
+
+def test_interval_dot_labels_edge_types(fig11):
+    text = interval_graph_to_dot(fig11.ifg, numbering=fig11.numbering)
+    assert 'label="ENTRY"' in text
+    assert 'label="CYCLE"' in text
+    assert 'label="JUMP"' in text
+    assert "style=dashed" in text  # synthetic edge and nodes
+    assert "ROOT" in text
+
+
+def test_quotes_escaped():
+    from repro.graph.cfg import ControlFlowGraph, NodeKind
+    cfg = ControlFlowGraph()
+    a = cfg.new_node(NodeKind.ENTRY, name='say "hi"')
+    b = cfg.new_node(NodeKind.EXIT, name="exit")
+    cfg.add_edge(a, b)
+    cfg.entry, cfg.exit = a, b
+    assert '\\"hi\\"' in cfg_to_dot(cfg)

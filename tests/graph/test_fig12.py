@@ -1,0 +1,138 @@
+"""The Figure 11 program must produce exactly the Figure 12 graph."""
+
+from repro.graph.cfg import NodeKind
+from repro.graph.interval_graph import EdgeType
+
+
+def numbered_edges(analyzed):
+    num = analyzed.numbering
+    result = {}
+    for src, dst, edge_type in analyzed.ifg.edges("CEFJS"):
+        key = (
+            "ROOT" if src is analyzed.ifg.root else num[src],
+            "ROOT" if dst is analyzed.ifg.root else num[dst],
+        )
+        result[key] = edge_type
+    return result
+
+
+def test_fourteen_real_nodes(fig11):
+    assert len(fig11.ifg.real_nodes()) == 14
+
+
+def test_node_kinds_match_figure(fig11):
+    kinds = {n: fig11.node(n).kind for n in range(1, 15)}
+    assert kinds[1] is NodeKind.ENTRY
+    assert kinds[2] is NodeKind.HEADER      # do i
+    assert kinds[3] is NodeKind.STMT        # y(a(i)) = ...
+    assert kinds[4] is NodeKind.STMT        # if test(i) goto 77
+    assert kinds[5] is NodeKind.LATCH       # synthetic (dashed in Fig 12)
+    assert kinds[6] is NodeKind.SYNTH       # dashed
+    assert kinds[7] is NodeKind.HEADER      # do j
+    assert kinds[8] is NodeKind.STMT        # ...
+    assert kinds[9] is NodeKind.SYNTH       # dashed
+    assert kinds[10] is NodeKind.SYNTH      # dashed, the goto landing pad
+    assert kinds[11] is NodeKind.LABEL      # label 77
+    assert kinds[12] is NodeKind.HEADER     # do k
+    assert kinds[13] is NodeKind.STMT       # ... = x(k+10) + y(b(k))
+    assert kinds[14] is NodeKind.EXIT
+
+
+def test_synthetic_nodes_are_flagged(fig11):
+    dashed = {n for n in range(1, 15) if fig11.node(n).synthetic}
+    assert dashed == {5, 6, 9, 10}
+
+
+def test_edge_classification_matches_figure(fig11):
+    edges = numbered_edges(fig11)
+    expected = {
+        ("ROOT", 1): EdgeType.ENTRY,
+        (1, 2): EdgeType.FORWARD,
+        (2, 3): EdgeType.ENTRY,
+        (2, 6): EdgeType.FORWARD,
+        (2, 10): EdgeType.SYNTHETIC,   # caused by JUMP edge (4, 10)
+        (3, 4): EdgeType.FORWARD,
+        (4, 5): EdgeType.FORWARD,
+        (4, 10): EdgeType.JUMP,
+        (5, 2): EdgeType.CYCLE,
+        (6, 7): EdgeType.FORWARD,
+        (7, 8): EdgeType.ENTRY,
+        (7, 9): EdgeType.FORWARD,
+        (8, 7): EdgeType.CYCLE,
+        (9, 11): EdgeType.FORWARD,
+        (10, 11): EdgeType.FORWARD,
+        (11, 12): EdgeType.FORWARD,
+        (12, 13): EdgeType.ENTRY,
+        (12, 14): EdgeType.FORWARD,
+        (13, 12): EdgeType.CYCLE,
+        (14, "ROOT"): EdgeType.CYCLE,
+    }
+    assert edges == expected
+
+
+def test_intervals_match_figure(fig11):
+    ifg = fig11.ifg
+    assert fig11.numbers(ifg.interval(fig11.node(2))) == [3, 4, 5]
+    assert fig11.numbers(ifg.interval(fig11.node(7))) == [8]
+    assert fig11.numbers(ifg.interval(fig11.node(12))) == [13]
+    # T(n) is empty for non-headers
+    assert ifg.interval(fig11.node(3)) == []
+
+
+def test_levels(fig11):
+    ifg = fig11.ifg
+    assert ifg.level(ifg.root) == 0
+    for n in (1, 2, 6, 7, 9, 10, 11, 12, 14):
+        assert ifg.level(fig11.node(n)) == 1, n
+    for n in (3, 4, 5, 8, 13):
+        assert ifg.level(fig11.node(n)) == 2, n
+
+
+def test_lastchild(fig11):
+    ifg = fig11.ifg
+    assert fig11.number(ifg.lastchild(fig11.node(2))) == 5
+    assert fig11.number(ifg.lastchild(fig11.node(7))) == 8
+    assert fig11.number(ifg.lastchild(fig11.node(12))) == 13
+    assert ifg.lastchild(ifg.root) is fig11.ifg.cfg.exit
+    assert ifg.lastchild(fig11.node(3)) is None
+
+
+def test_header_of(fig11):
+    ifg = fig11.ifg
+    assert fig11.number(ifg.header_of(fig11.node(3))) == 2
+    assert ifg.header_of(fig11.node(1)) is ifg.root
+    assert ifg.header_of(fig11.node(6)) is None  # reached by FORWARD edge
+
+
+def test_jump_sink_has_single_predecessor(fig11):
+    # Paper §3.4: the sink of a JUMP edge never has other predecessors.
+    node10 = fig11.node(10)
+    assert fig11.numbers(fig11.ifg.preds(node10, "CEFJ")) == [4]
+
+
+def test_cycle_source_has_no_other_successors(fig11):
+    # Paper §3.4: the source of a CYCLE edge has no EFJ successors.
+    for latch_number in (5, 8, 13):
+        latch = fig11.node(latch_number)
+        assert fig11.ifg.succs(latch, "EFJ") == []
+
+
+def test_synthetic_edge_count_matches_level_difference(fig11):
+    # For each JUMP edge (m, n): LEVEL(m) - LEVEL(n) synthetic edges.
+    ifg = fig11.ifg
+    jumps = ifg.jump_edges()
+    assert len(jumps) == 1
+    m, n = jumps[0]
+    expected = ifg.level(m) - ifg.level(n)
+    synthetic = [e for e in ifg.edges("S")]
+    assert len(synthetic) == expected == 1
+
+
+def test_headers_with_jump_sources(fig11):
+    headers = fig11.ifg.headers_with_jump_sources()
+    assert fig11.numbers(headers) == [2]
+
+
+def test_children_of_root(fig11):
+    assert fig11.numbers(fig11.ifg.children(fig11.ifg.root)) == [
+        1, 2, 6, 7, 9, 10, 11, 12, 14]

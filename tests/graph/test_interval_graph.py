@@ -1,0 +1,110 @@
+"""Interval flow graph classification tests on hand-built shapes."""
+
+import pytest
+
+from repro.graph.interval_graph import EdgeType, IntervalFlowGraph
+from repro.testing.graphs import GraphSketch, diamond, loop_with_jump, nested_loops, simple_loop
+from repro.testing.programs import analyze_source
+from repro.util.errors import GraphError
+
+
+def test_diamond_all_forward():
+    sketch = diamond()
+    types = {t for _, _, t in sketch.ifg.edges("CEFJ")
+             if _ is not sketch.ifg.root}
+    # besides the ROOT pseudo edges, everything is FORWARD
+    real_types = {t for s, d, t in sketch.ifg.edges("CEFJ")
+                  if s is not sketch.ifg.root and d is not sketch.ifg.root}
+    assert real_types == {EdgeType.FORWARD}
+
+
+def test_simple_loop_classification():
+    sketch = simple_loop()
+    ifg = sketch.ifg
+    header = sketch["header"]
+    body = sketch["body"]
+    assert ifg.edge_type(header, body) is EdgeType.ENTRY
+    assert ifg.edge_type(body, header) is EdgeType.CYCLE
+
+
+def test_nested_loops_levels():
+    sketch = nested_loops()
+    ifg = sketch.ifg
+    assert ifg.level(sketch["outer"]) == 1
+    assert ifg.level(sketch["inner"]) == 2
+    assert ifg.level(sketch["body"]) == 3
+
+
+def test_jump_classification_and_synthetic_edge():
+    sketch = loop_with_jump()
+    ifg = sketch.ifg
+    test_node = sketch["test"]
+    landing = sketch["landing"]
+    assert ifg.edge_type(test_node, landing) is EdgeType.JUMP
+    header = sketch["header"]
+    assert (header, landing, EdgeType.SYNTHETIC) in ifg.edges("S")
+
+
+def test_two_level_jump_gets_two_synthetic_edges():
+    analyzed = analyze_source(
+        "do i = 1, n\n"
+        "do j = 1, n\n"
+        "if t goto 9\n"
+        "enddo\n"
+        "enddo\n"
+        "9 x = 1\n"
+    )
+    ifg = analyzed.ifg
+    jumps = ifg.jump_edges()
+    assert len(jumps) == 1
+    m, n = jumps[0]
+    assert ifg.level(m) - ifg.level(n) == 2
+    assert len(ifg.edges("S")) == 2
+    synthetic_sources = {s for s, _, _ in ifg.edges("S")}
+    assert all(ifg.is_header(s) for s in synthetic_sources)
+    assert len(synthetic_sources) == 2
+
+
+def test_root_edges():
+    sketch = diamond()
+    ifg = sketch.ifg
+    assert ifg.succs(ifg.root, "E") == [ifg.cfg.entry]
+    assert ifg.preds(ifg.root, "C") == [ifg.cfg.exit]
+    assert ifg.succs(ifg.root, "FJS") == []
+
+
+def test_root_interval_is_everything():
+    sketch = diamond()
+    ifg = sketch.ifg
+    assert set(ifg.interval(ifg.root)) == set(ifg.real_nodes())
+    assert ifg.in_interval(ifg.root, sketch["branch"])
+
+
+def test_default_neighbor_letters():
+    sketch = simple_loop()
+    ifg = sketch.ifg
+    header = sketch["header"]
+    conventional = ifg.succs(header)  # CEFJ
+    assert set(conventional) == set(ifg.succs(header, "CEFJ"))
+
+
+def test_self_loop_rejected():
+    with pytest.raises(GraphError):
+        GraphSketch([("a", "b"), ("b", "b"), ("b", "c")], normalize_graph=False)
+
+
+def test_edge_type_lookup_missing_edge():
+    sketch = diamond()
+    with pytest.raises(KeyError):
+        sketch.ifg.edge_type(sketch["left"], sketch["right"])
+
+
+def test_headers_with_jump_sources_excludes_jumpfree_loops():
+    analyzed = analyze_source(
+        "do i = 1, n\nx = 1\nenddo\n"
+        "do j = 1, n\nif t goto 9\nenddo\n"
+        "9 y = 2\n"
+    )
+    headers = analyzed.ifg.headers_with_jump_sources()
+    assert len(headers) == 1
+    assert headers[0].name.startswith("do j")

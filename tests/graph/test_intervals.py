@@ -1,0 +1,171 @@
+"""Dominators, reducibility, loop forest tests."""
+
+import pytest
+
+from repro.graph.builder import build_cfg
+from repro.graph.cfg import ControlFlowGraph, NodeKind
+from repro.graph.intervals import (
+    LoopForest,
+    check_reducible,
+    compute_dominators,
+    dominates,
+    find_back_edges,
+    reverse_postorder,
+)
+from repro.lang.parser import parse
+from repro.util.errors import GraphError, IrreducibleGraphError
+
+
+def sketch(edges, entry=None, exit_name=None):
+    cfg = ControlFlowGraph()
+    nodes = {}
+
+    def get(name):
+        if name not in nodes:
+            nodes[name] = cfg.new_node(NodeKind.STMT, name=name)
+        return nodes[name]
+
+    for a, b in edges:
+        cfg.add_edge(get(a), get(b))
+    cfg.entry = nodes[entry or edges[0][0]]
+    cfg.exit = nodes[exit_name] if exit_name else list(nodes.values())[-1]
+    return cfg, nodes
+
+
+def test_dominators_diamond():
+    cfg, n = sketch([("e", "b"), ("b", "l"), ("b", "r"), ("l", "j"), ("r", "j")])
+    idom = compute_dominators(cfg)
+    assert idom[n["j"]] is n["b"]
+    assert dominates(idom, n["e"], n["j"])
+    assert not dominates(idom, n["l"], n["j"])
+
+
+def test_dominates_is_reflexive():
+    cfg, n = sketch([("a", "b")])
+    idom = compute_dominators(cfg)
+    assert dominates(idom, n["b"], n["b"])
+
+
+def test_dominators_require_reachability():
+    cfg, n = sketch([("a", "b")])
+    cfg.new_node(NodeKind.STMT, name="orphan")
+    with pytest.raises(GraphError):
+        compute_dominators(cfg)
+
+
+def test_back_edges_simple_loop():
+    cfg, n = sketch([("e", "h"), ("h", "b"), ("b", "h"), ("h", "x")], exit_name="x")
+    assert find_back_edges(cfg) == [(n["b"], n["h"])]
+
+
+def test_reverse_postorder_topological_on_dag():
+    cfg, n = sketch([("a", "b"), ("a", "c"), ("b", "d"), ("c", "d")])
+    order = reverse_postorder(cfg)
+    pos = {node: i for i, node in enumerate(order)}
+    assert pos[n["a"]] < pos[n["b"]] < pos[n["d"]]
+    assert pos[n["a"]] < pos[n["c"]] < pos[n["d"]]
+
+
+def test_irreducible_graph_detected():
+    # Classic two-entry cycle: e -> a, e -> b, a <-> b.
+    cfg, n = sketch([("e", "a"), ("e", "b"), ("a", "b"), ("b", "a"), ("a", "x")],
+                    exit_name="x")
+    with pytest.raises(IrreducibleGraphError):
+        check_reducible(cfg)
+
+
+def test_goto_into_loop_is_irreducible():
+    # The cycle can be entered both through the do header (fall-through)
+    # and through label 5 (the goto): two entries, irreducible.
+    cfg = build_cfg(parse(
+        "if t goto 5\n"
+        "do i = 1, n\n"
+        "5 x = 1\n"
+        "enddo"
+    ))
+    from repro.graph.normalize import prune_unreachable
+    prune_unreachable(cfg)
+    with pytest.raises(IrreducibleGraphError):
+        check_reducible(cfg)
+
+
+def test_unconditional_goto_into_loop_rotates_it():
+    # With an unconditional goto the do header is only reachable through
+    # the body, so the label node becomes the (unique) loop header and
+    # the graph stays reducible.
+    cfg = build_cfg(parse(
+        "goto 5\n"
+        "do i = 1, n\n"
+        "5 x = 1\n"
+        "enddo"
+    ))
+    from repro.graph.normalize import prune_unreachable
+    prune_unreachable(cfg)
+    check_reducible(cfg)
+    forest = LoopForest(cfg)
+    assert [h.kind for h in forest.headers()] == [NodeKind.LABEL]
+
+
+def loop_forest_for(source):
+    cfg = build_cfg(parse(source))
+    from repro.graph.normalize import normalize
+    normalize(cfg)
+    return cfg, LoopForest(cfg)
+
+
+def test_loop_forest_single_loop():
+    cfg, forest = loop_forest_for("do i = 1, n\nx = 1\nenddo")
+    headers = forest.headers()
+    assert len(headers) == 1
+    header = headers[0]
+    assert header.kind is NodeKind.HEADER
+    members = forest.members(header)
+    assert header not in members  # T(h) excludes the header (Tarjan)
+    assert forest.level(header) == 1
+    assert all(forest.level(m) == 2 for m in members)
+
+
+def test_loop_forest_nesting_levels():
+    cfg, forest = loop_forest_for(
+        "do i = 1, n\ndo j = 1, n\nx = 1\nenddo\nenddo")
+    outer, inner = forest.headers()
+    if forest.level(outer) > forest.level(inner):
+        outer, inner = inner, outer
+    assert forest.level(outer) == 1 and forest.level(inner) == 2
+    assert inner in forest.members(outer)
+    assert forest.innermost(inner) is outer
+    body = next(n for n in cfg.nodes() if n.name.startswith("x ="))
+    assert forest.level(body) == 3
+    assert forest.enclosing_headers(body) == [inner, outer]
+
+
+def test_children_are_one_level_deep():
+    cfg, forest = loop_forest_for(
+        "do i = 1, n\ndo j = 1, n\nx = 1\nenddo\nenddo")
+    outer = min(forest.headers(), key=forest.level)
+    children = forest.children(outer)
+    assert all(forest.level(c) == 2 for c in children)
+    inner = max(forest.headers(), key=forest.level)
+    assert inner in children
+    body = next(n for n in cfg.nodes() if n.name.startswith("x ="))
+    assert body not in children
+
+
+def test_members_plus_includes_header():
+    cfg, forest = loop_forest_for("do i = 1, n\nx = 1\nenddo")
+    header = forest.headers()[0]
+    assert header in forest.members_plus(header)
+
+
+def test_latch_unique_after_normalization():
+    cfg, forest = loop_forest_for("do i = 1, n\nif t then\nx = 1\nendif\nenddo")
+    header = forest.headers()[0]
+    latch = forest.latch(header)
+    assert cfg.succs(latch) == [header]
+
+
+def test_non_header_has_empty_members():
+    cfg, forest = loop_forest_for("do i = 1, n\nx = 1\nenddo")
+    body = next(n for n in cfg.nodes() if n.name.startswith("x ="))
+    assert len(forest.members(body)) == 0
+    assert not forest.is_header(body)

@@ -1,0 +1,124 @@
+"""Normalization pass tests."""
+
+import pytest
+
+from repro.graph.builder import build_cfg
+from repro.graph.cfg import ControlFlowGraph, NodeKind
+from repro.graph.intervals import LoopForest
+from repro.graph.normalize import (
+    ensure_unique_body_entry,
+    ensure_unique_latch,
+    normalize,
+    prune_unreachable,
+    split_critical_edges,
+    validate_normalized,
+)
+from repro.lang.parser import parse
+from repro.util.errors import GraphError
+
+
+def normalized(source):
+    cfg = build_cfg(parse(source))
+    normalize(cfg)
+    return cfg
+
+
+def test_prune_unreachable_removes_dead_code():
+    cfg = build_cfg(parse("goto 9\nx = 1\n9 y = 2"))
+    removed = prune_unreachable(cfg)
+    assert any(n.name.startswith("x =") for n in removed)
+    assert all(not n.name.startswith("x =") for n in cfg.nodes())
+
+
+def test_prune_unreachable_keeps_everything_reachable():
+    cfg = build_cfg(parse("x = 1\ny = 2"))
+    assert prune_unreachable(cfg) == []
+
+
+def test_multiple_back_edges_merged_into_latch():
+    # An if/else at the end of the loop body produces two back edges.
+    cfg = build_cfg(parse(
+        "do i = 1, n\nif t then\nx = 1\nelse\ny = 2\nendif\nenddo"))
+    ensure_unique_latch(cfg)
+    forest = LoopForest(cfg)
+    header = forest.headers()[0]
+    assert forest.latch(header)  # unique now
+
+
+def test_body_entry_inserted_for_multi_entry_loop():
+    # Hand-build a loop whose header branches to two body nodes.
+    cfg = ControlFlowGraph()
+    entry = cfg.new_node(NodeKind.ENTRY, name="entry")
+    header = cfg.new_node(NodeKind.HEADER, name="h")
+    b1 = cfg.new_node(NodeKind.STMT, name="b1")
+    b2 = cfg.new_node(NodeKind.STMT, name="b2")
+    latch = cfg.new_node(NodeKind.LATCH, name="latch")
+    exit_node = cfg.new_node(NodeKind.EXIT, name="exit")
+    cfg.entry, cfg.exit = entry, exit_node
+    cfg.add_edge(entry, header)
+    cfg.add_edge(header, b1)
+    cfg.add_edge(header, b2)
+    cfg.add_edge(b1, latch)
+    cfg.add_edge(b2, latch)
+    cfg.add_edge(latch, header)
+    cfg.add_edge(header, exit_node)
+    ensure_unique_body_entry(cfg)
+    forest = LoopForest(cfg)
+    entries = [s for s in cfg.succs(header) if forest.contains(header, s)]
+    assert len(entries) == 1
+    assert entries[0].kind is NodeKind.BODY_ENTRY
+
+
+def test_no_critical_edges_after_normalize():
+    cfg = normalized(
+        "if t then\nx = 1\nendif\ny = 2\n"
+        "do i = 1, n\nif u goto 9\nenddo\n"
+        "9 z = 3")
+    for src, dst in cfg.edges():
+        assert not (len(cfg.succs(src)) > 1 and len(cfg.preds(dst)) > 1), (src, dst)
+
+
+def test_back_edge_split_yields_latch_kind():
+    cfg = normalized("do i = 1, n\nif t goto 9\nenddo\n9 x = 1")
+    forest = LoopForest(cfg)
+    header = forest.headers()[0]
+    assert forest.latch(header).kind is NodeKind.LATCH
+
+
+def test_validate_passes_on_paper_programs():
+    from repro.testing.programs import FIG1_SOURCE, FIG3_SOURCE, FIG11_SOURCE
+    for source in (FIG1_SOURCE, FIG3_SOURCE, FIG11_SOURCE):
+        cfg = build_cfg(parse(source))
+        normalize(cfg)
+        validate_normalized(cfg)
+
+
+def test_validate_rejects_critical_edges():
+    cfg = ControlFlowGraph()
+    a = cfg.new_node(NodeKind.ENTRY, name="a")
+    b = cfg.new_node(NodeKind.STMT, name="b")
+    c = cfg.new_node(NodeKind.STMT, name="c")
+    d = cfg.new_node(NodeKind.EXIT, name="d")
+    cfg.entry, cfg.exit = a, d
+    cfg.add_edge(a, b)
+    cfg.add_edge(a, c)
+    cfg.add_edge(b, c)   # critical: a has 2 succs, c has 2 preds
+    cfg.add_edge(b, d)
+    cfg.add_edge(c, d)
+    with pytest.raises(GraphError):
+        validate_normalized(cfg)
+
+
+def test_infinite_loop_rejected():
+    cfg = build_cfg(parse("1 x = 1\ngoto 1"))
+    with pytest.raises(GraphError):
+        normalize(cfg)
+
+
+def test_split_critical_preserves_structure():
+    cfg = build_cfg(parse("if t then\nx = 1\nendif\ny = 2"))
+    before_paths = len(cfg.edges())
+    split_critical_edges(cfg)
+    # Splitting adds one node and one edge per split, no path changes.
+    validate = [n for n in cfg.nodes() if n.kind is NodeKind.SYNTH]
+    assert len(cfg.edges()) == before_paths + len(validate)

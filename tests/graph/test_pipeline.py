@@ -1,0 +1,37 @@
+"""Graph pipeline convenience entry tests."""
+
+import pytest
+
+from repro.graph import interval_graph_for_program
+from repro.graph.interval_graph import IntervalFlowGraph
+from repro.lang.parser import parse
+from repro.util.errors import IrreducibleGraphError
+
+
+def test_accepts_source_text():
+    ifg = interval_graph_for_program("a = 1\nb = 2")
+    assert isinstance(ifg, IntervalFlowGraph)
+    assert len(ifg.real_nodes()) == 4  # entry, two statements, exit
+
+
+def test_accepts_parsed_program():
+    program = parse("do i = 1, n\na = 1\nenddo")
+    ifg = interval_graph_for_program(program)
+    assert len(ifg.forest.headers()) == 1
+
+
+def test_rejects_irreducible_program():
+    with pytest.raises(IrreducibleGraphError):
+        interval_graph_for_program(
+            "if t goto 5\ndo i = 1, n\n5 a = 1\nenddo")
+
+
+def test_declarations_do_not_create_nodes():
+    ifg = interval_graph_for_program("real x(10)\ndistribute x(block)\na = 1")
+    statement_nodes = [n for n in ifg.real_nodes() if n.stmt is not None]
+    assert len(statement_nodes) == 1
+
+
+def test_empty_program():
+    ifg = interval_graph_for_program("")
+    assert len(ifg.real_nodes()) == 2  # entry -> exit

@@ -1,0 +1,109 @@
+"""Node splitting tests ([CM69], §3.3)."""
+
+import pytest
+
+from repro.graph.builder import build_cfg
+from repro.graph.intervals import check_reducible
+from repro.graph.normalize import normalize, prune_unreachable, validate_normalized
+from repro.graph.splitting import make_reducible, nodes_for_statement
+from repro.lang.parser import parse
+from repro.testing.programs import AnalyzedProgram
+from repro.util.errors import GraphError, IrreducibleGraphError
+
+GOTO_INTO_LOOP = (
+    "if t goto 5\n"
+    "do i = 1, n\n"
+    "5 u = x(1)\n"
+    "enddo\n"
+)
+
+
+def test_splitting_makes_goto_into_loop_reducible():
+    cfg = build_cfg(parse(GOTO_INTO_LOOP))
+    prune_unreachable(cfg)
+    with pytest.raises(IrreducibleGraphError):
+        check_reducible(cfg)
+    splits = make_reducible(cfg)
+    assert splits
+    check_reducible(cfg)
+
+
+def test_split_copies_share_statement():
+    program = parse(GOTO_INTO_LOOP)
+    cfg = build_cfg(program)
+    prune_unreachable(cfg)
+    splits = make_reducible(cfg)
+    # the improper cycle's second entry is the do header: it gets copied
+    # (one node initializes the loop, the copy re-tests on the back edge)
+    do_stmt = program.executables()[1]
+    copies = nodes_for_statement(cfg, do_stmt)
+    assert len(copies) >= 2
+    assert all(original.stmt is copy.stmt for original, copy in splits)
+
+
+def test_normalize_with_splitting_validates():
+    cfg = build_cfg(parse(GOTO_INTO_LOOP))
+    normalize(cfg, split_irreducible=True)
+    validate_normalized(cfg)
+
+
+def test_normalize_without_splitting_still_rejects():
+    cfg = build_cfg(parse(GOTO_INTO_LOOP))
+    with pytest.raises(IrreducibleGraphError):
+        normalize(cfg)
+
+
+def test_reducible_graph_unchanged():
+    cfg = build_cfg(parse("do i = 1, n\nu = 1\nenddo"))
+    prune_unreachable(cfg)
+    before = len(cfg)
+    assert make_reducible(cfg) == []
+    assert len(cfg) == before
+
+
+def test_split_budget_guard():
+    cfg = build_cfg(parse(GOTO_INTO_LOOP))
+    prune_unreachable(cfg)
+    with pytest.raises(GraphError):
+        make_reducible(cfg, max_splits=0)
+
+
+def test_solver_runs_on_split_program():
+    from repro.core import Problem, check_placement, solve
+    from repro.core.placement import Placement
+
+    analyzed = AnalyzedProgram(parse(GOTO_INTO_LOOP), split_irreducible=True)
+    problem = Problem()
+    # annotate every copy of the consuming statement
+    copies = [n for n in analyzed.ifg.real_nodes()
+              if n.name.startswith(("5", "u ="))and n.stmt is not None]
+    consumers = [n for n in analyzed.ifg.real_nodes()
+                 if n.stmt is not None and n.name.lstrip("5 '").startswith("u =")]
+    assert consumers
+    for node in consumers:
+        problem.add_take(node, "e")
+    solution = solve(analyzed.ifg, problem)
+    placement = Placement(analyzed.ifg, problem, solution)
+    report = check_placement(analyzed.ifg, problem, placement, min_trips=1)
+    assert report.ok(ignore=("safety", "redundant")), str(report)
+
+
+def test_accesses_cover_every_statement_copy():
+    # Reference a distributed array in the DO *bound*: the duplicated
+    # header must carry the access on both copies.
+    source = (
+        "real x(100)\ndistribute x(block)\n"
+        "if t goto 5\n"
+        "do i = 1, x(9)\n"
+        "5 u = 1\n"
+        "enddo\n"
+    )
+    from repro.analysis.references import collect_accesses
+    from repro.lang.symbols import SymbolTable
+
+    analyzed = AnalyzedProgram(parse(source), split_irreducible=True)
+    symbols = SymbolTable.from_program(analyzed.program)
+    accesses, _ = collect_accesses(analyzed, symbols)
+    bound_reads = [a for a in accesses if a.array == "x"]
+    assert len(bound_reads) >= 2
+    assert len({a.node for a in bound_reads}) == len(bound_reads)

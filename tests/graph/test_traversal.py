@@ -1,0 +1,69 @@
+"""Traversal order property tests (paper §3.4)."""
+
+import pytest
+
+from repro.graph.interval_graph import EdgeType
+from repro.graph.traversal import postorder, preorder, preorder_numbering
+from repro.testing.generator import random_analyzed_program
+
+
+def assert_forward(ifg, order):
+    position = {node: i for i, node in enumerate(order)}
+    for src, dst, edge_type in ifg.edges("FJS"):
+        assert position[src] < position[dst], (src, dst, edge_type)
+
+
+def assert_downward(ifg, order):
+    position = {node: i for i, node in enumerate(order)}
+    for node in ifg.nodes():
+        if ifg.is_header(node):
+            for member in ifg.interval(node):
+                assert position[node] < position[member], (node, member)
+
+
+def assert_upward(ifg, order):
+    position = {node: i for i, node in enumerate(order)}
+    for node in ifg.nodes():
+        if ifg.is_header(node):
+            for member in ifg.interval(node):
+                assert position[member] < position[node], (node, member)
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_preorder_is_forward_and_downward(seed):
+    ifg = random_analyzed_program(seed, size=15).ifg
+    order = preorder(ifg)
+    assert len(order) == len(ifg.nodes())
+    assert_forward(ifg, order)
+    assert_downward(ifg, order)
+
+
+@pytest.mark.parametrize("seed", range(12))
+def test_postorder_is_forward_and_upward(seed):
+    ifg = random_analyzed_program(seed, size=15).ifg
+    order = postorder(ifg)
+    assert len(order) == len(ifg.nodes())
+    assert_forward(ifg, order)
+    assert_upward(ifg, order)
+
+
+def test_root_first_in_preorder_last_in_postorder(fig11):
+    ifg = fig11.ifg
+    assert preorder(ifg)[0] is ifg.root
+    assert postorder(ifg)[-1] is ifg.root
+
+
+def test_preorder_numbering_matches_figure12(fig11):
+    numbering = preorder_numbering(fig11.ifg)
+    assert sorted(numbering.values()) == list(range(1, 15))
+    # spot checks pinned by the paper's figure
+    by_number = {v: k for k, v in numbering.items()}
+    assert by_number[2].name.startswith("do i")
+    assert by_number[7].name.startswith("do j")
+    assert by_number[12].name.startswith("77")
+    assert by_number[11].name == "label 77"
+
+
+def test_orders_are_deterministic(fig11):
+    assert preorder(fig11.ifg) == preorder(fig11.ifg)
+    assert postorder(fig11.ifg) == postorder(fig11.ifg)

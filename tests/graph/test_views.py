@@ -1,0 +1,81 @@
+"""Forward/Backward view tests (paper §5.3)."""
+
+import pytest
+
+from repro.graph.views import BackwardView, ForwardView
+from repro.testing.generator import random_analyzed_program
+
+
+def test_forward_view_delegates(fig11):
+    view = ForwardView(fig11.ifg)
+    node2 = fig11.node(2)
+    assert view.succs(node2, "E") == fig11.ifg.succs(node2, "E")
+    assert view.lastchild(node2) is fig11.ifg.lastchild(node2)
+    assert view.steal_all(node2) is False
+
+
+def test_backward_swaps_entry_and_cycle(fig11):
+    view = BackwardView(fig11.ifg)
+    node2 = fig11.node(2)
+    # Backward ENTRY successors of the header = original CYCLE preds (latch).
+    assert fig11.numbers(view.succs(node2, "E")) == [5]
+    # Backward CYCLE successors = original ENTRY preds.
+    node3 = fig11.node(3)
+    assert fig11.numbers(view.succs(node3, "C")) == [2]
+
+
+def test_backward_forward_edges_reverse(fig11):
+    view = BackwardView(fig11.ifg)
+    node7 = fig11.node(7)
+    assert fig11.numbers(view.succs(node7, "F")) == [6]
+    assert fig11.numbers(view.preds(node7, "F")) == [9]
+
+
+def test_backward_lastchild_is_body_entry(fig11):
+    view = BackwardView(fig11.ifg)
+    assert fig11.number(view.lastchild(fig11.node(2))) == 3
+    assert view.lastchild(fig11.ifg.root) is fig11.ifg.cfg.entry
+    assert view.lastchild(fig11.node(3)) is None
+
+
+def test_backward_header_of_latch(fig11):
+    view = BackwardView(fig11.ifg)
+    assert fig11.number(view.header_of(fig11.node(5))) == 2
+    # The program exit is the backward first child of ROOT.
+    assert view.header_of(fig11.ifg.cfg.exit) is fig11.ifg.root
+    assert view.header_of(fig11.node(3)) is None
+
+
+def test_backward_steal_all_on_jump_loops(fig11):
+    view = BackwardView(fig11.ifg)
+    assert view.steal_all(fig11.node(2))       # the i loop is jumped out of
+    assert not view.steal_all(fig11.node(7))
+    assert not view.steal_all(fig11.node(12))
+
+
+def test_backward_orders_reverse_direction(fig11):
+    view = BackwardView(fig11.ifg)
+    order = view.nodes_preorder()
+    position = {node: i for i, node in enumerate(order)}
+    for src, dst, _ in fig11.ifg.edges("FJS"):
+        assert position[dst] < position[src]  # backward
+    for node in fig11.ifg.nodes():
+        if fig11.ifg.is_header(node):
+            for member in fig11.ifg.interval(node):
+                assert position[node] < position[member]  # still downward
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_backward_children_sorted_by_backward_order(seed):
+    ifg = random_analyzed_program(seed, size=15).ifg
+    view = BackwardView(ifg)
+    position = {node: i for i, node in enumerate(view.nodes_preorder())}
+    for node in ifg.nodes():
+        children = view.children(node)
+        assert children == sorted(children, key=position.__getitem__)
+
+
+def test_views_cover_all_nodes(fig11):
+    for view in (ForwardView(fig11.ifg), BackwardView(fig11.ifg)):
+        assert set(view.nodes_preorder()) == set(fig11.ifg.nodes())
+        assert view.nodes_reverse_preorder() == list(reversed(view.nodes_preorder()))

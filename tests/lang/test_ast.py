@@ -1,0 +1,46 @@
+"""AST traversal helper tests."""
+
+from repro.lang import ast
+from repro.lang.parser import parse
+from repro.lang.ast import statement_expressions, walk_expressions, walk_statements
+
+
+def test_walk_statements_recurses_into_loops_and_ifs():
+    program = parse(
+        "do i = 1, n\n"
+        "if t then\nx = 1\nelse\ny = 2\nendif\n"
+        "enddo\n"
+        "z = 3"
+    )
+    statements = list(walk_statements(program.body))
+    texts = [type(s).__name__ for s in statements]
+    assert texts == ["Do", "If", "Assign", "Assign", "Assign"]
+
+
+def test_walk_expressions_covers_subscripts():
+    expr = parse("x = y(a(i) + 1)").body[0].value
+    seen = list(walk_expressions(expr))
+    assert ast.Var("i") in seen
+    assert ast.Num(1) in seen
+    assert any(isinstance(e, ast.BinOp) for e in seen)
+
+
+def test_statement_expressions_for_assign():
+    stmt = parse("x(i) = y(j)").body[0]
+    exprs = list(statement_expressions(stmt))
+    assert exprs == [stmt.target, stmt.value]
+
+
+def test_statement_expressions_for_do():
+    stmt = parse("do i = 1, n\nenddo").body[0]
+    assert list(statement_expressions(stmt)) == [ast.Num(1), ast.Var("n"), ast.Num(1)]
+
+
+def test_statement_expressions_for_if_goto():
+    stmt = parse("if t goto 5").body[0]
+    assert list(statement_expressions(stmt)) == [ast.Var("t")]
+
+
+def test_walk_expressions_range():
+    expr = ast.RangeExpr(ast.Num(1), ast.Var("n"))
+    assert ast.Var("n") in list(walk_expressions(expr))

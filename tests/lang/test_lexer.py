@@ -1,0 +1,109 @@
+"""Lexer unit tests."""
+
+import pytest
+
+from repro.lang.lexer import tokenize
+from repro.lang.tokens import TokenKind
+from repro.util.errors import ParseError
+
+
+def kinds(source):
+    return [t.kind for t in tokenize(source) if t.kind not in
+            (TokenKind.NEWLINE, TokenKind.EOF)]
+
+
+def test_simple_assignment():
+    assert kinds("x = 1") == [TokenKind.NAME, TokenKind.ASSIGN, TokenKind.INT]
+
+
+def test_keywords_are_recognized():
+    assert kinds("do enddo if then else endif goto continue") == [
+        TokenKind.DO, TokenKind.ENDDO, TokenKind.IF, TokenKind.THEN,
+        TokenKind.ELSE, TokenKind.ENDIF, TokenKind.GOTO, TokenKind.CONTINUE,
+    ]
+
+
+def test_case_insensitive_keywords_and_names():
+    tokens = tokenize("DO I = 1, N")
+    assert tokens[0].kind == TokenKind.DO
+    assert tokens[1].text == "i"
+    assert tokens[5].text == "n"
+
+
+def test_dots_token():
+    assert kinds("x = ...") == [TokenKind.NAME, TokenKind.ASSIGN, TokenKind.DOTS]
+
+
+def test_operators():
+    assert kinds("a + b - c * d / e") == [
+        TokenKind.NAME, TokenKind.PLUS, TokenKind.NAME, TokenKind.MINUS,
+        TokenKind.NAME, TokenKind.STAR, TokenKind.NAME, TokenKind.SLASH,
+        TokenKind.NAME,
+    ]
+
+
+def test_comparisons():
+    assert kinds("a < b <= c > d >= e == f != g") == [
+        TokenKind.NAME, TokenKind.LT, TokenKind.NAME, TokenKind.LE,
+        TokenKind.NAME, TokenKind.GT, TokenKind.NAME, TokenKind.GE,
+        TokenKind.NAME, TokenKind.EQ, TokenKind.NAME, TokenKind.NE,
+        TokenKind.NAME,
+    ]
+
+
+def test_parens_comma_colon():
+    assert kinds("x(1:n, i)") == [
+        TokenKind.NAME, TokenKind.LPAREN, TokenKind.INT, TokenKind.COLON,
+        TokenKind.NAME, TokenKind.COMMA, TokenKind.NAME, TokenKind.RPAREN,
+    ]
+
+
+def test_bang_comment_stripped():
+    assert kinds("x = 1 ! a comment with do if") == [
+        TokenKind.NAME, TokenKind.ASSIGN, TokenKind.INT,
+    ]
+
+
+def test_classic_comment_line():
+    assert kinds("c this is a comment\nx = 1") == [
+        TokenKind.NAME, TokenKind.ASSIGN, TokenKind.INT,
+    ]
+
+
+def test_star_comment_line():
+    assert kinds("* comment\nx = 2") == [
+        TokenKind.NAME, TokenKind.ASSIGN, TokenKind.INT,
+    ]
+
+
+def test_positions_are_one_based():
+    tokens = tokenize("x = 1\n  y = 2")
+    y = [t for t in tokens if t.text == "y"][0]
+    assert (y.line, y.column) == (2, 3)
+
+
+def test_newline_tokens_separate_statements():
+    tokens = tokenize("x = 1\ny = 2")
+    assert TokenKind.NEWLINE in [t.kind for t in tokens]
+
+
+def test_unexpected_character_raises():
+    with pytest.raises(ParseError) as excinfo:
+        tokenize("x = @")
+    assert "line 1" in str(excinfo.value)
+
+
+def test_distribution_keywords():
+    assert kinds("distribute x(block)") == [
+        TokenKind.DISTRIBUTE, TokenKind.NAME, TokenKind.LPAREN,
+        TokenKind.BLOCK, TokenKind.RPAREN,
+    ]
+
+
+def test_numbers_lex_as_integers():
+    tokens = [t for t in tokenize("77 x = 123") if t.kind == TokenKind.INT]
+    assert [t.text for t in tokens] == ["77", "123"]
+
+
+def test_eof_is_last():
+    assert tokenize("")[-1].kind == TokenKind.EOF

@@ -1,0 +1,164 @@
+"""Parser unit tests."""
+
+import pytest
+
+from repro.lang import ast
+from repro.lang.parser import parse
+from repro.util.errors import ParseError
+
+
+def first(source):
+    return parse(source).body[0]
+
+
+def test_scalar_assignment():
+    stmt = first("x = 1")
+    assert isinstance(stmt, ast.Assign)
+    assert stmt.target == ast.Var("x")
+    assert stmt.value == ast.Num(1)
+
+
+def test_array_assignment_with_indirect_subscript():
+    stmt = first("y(a(i)) = 2")
+    assert stmt.target == ast.ArrayRef("y", (ast.ArrayRef("a", (ast.Var("i"),)),))
+
+
+def test_opaque_rhs():
+    assert first("x = ...").value == ast.Opaque()
+
+
+def test_binop_precedence():
+    stmt = first("x = a + b * c")
+    assert stmt.value == ast.BinOp("+", ast.Var("a"),
+                                   ast.BinOp("*", ast.Var("b"), ast.Var("c")))
+
+
+def test_parenthesized_expression():
+    stmt = first("x = (a + b) * c")
+    assert stmt.value == ast.BinOp("*", ast.BinOp("+", ast.Var("a"), ast.Var("b")),
+                                   ast.Var("c"))
+
+
+def test_unary_minus():
+    stmt = first("x = -a")
+    assert stmt.value == ast.BinOp("-", ast.Num(0), ast.Var("a"))
+
+
+def test_do_loop_default_step():
+    stmt = first("do i = 1, n\nx = 1\nenddo")
+    assert isinstance(stmt, ast.Do)
+    assert (stmt.var, stmt.lo, stmt.hi, stmt.step) == (
+        "i", ast.Num(1), ast.Var("n"), ast.Num(1))
+    assert len(stmt.body) == 1
+
+
+def test_do_loop_explicit_step():
+    stmt = first("do i = 1, n, 2\nenddo")
+    assert stmt.step == ast.Num(2)
+
+
+def test_nested_loops():
+    stmt = first("do i = 1, n\ndo j = 1, m\nx = 1\nenddo\nenddo")
+    inner = stmt.body[0]
+    assert isinstance(inner, ast.Do) and inner.var == "j"
+
+
+def test_if_then_else():
+    stmt = first("if test then\nx = 1\nelse\ny = 2\nendif")
+    assert isinstance(stmt, ast.If)
+    assert len(stmt.then_body) == 1 and len(stmt.else_body) == 1
+
+
+def test_if_without_else():
+    stmt = first("if test then\nx = 1\nendif")
+    assert stmt.else_body == []
+
+
+def test_if_condition_with_parens():
+    stmt = first("if (a < b) then\nendif")
+    assert stmt.cond == ast.BinOp("<", ast.Var("a"), ast.Var("b"))
+
+
+def test_logical_if_goto():
+    stmt = first("if test(i) goto 77")
+    assert isinstance(stmt, ast.IfGoto)
+    assert stmt.target == 77
+    assert stmt.cond == ast.ArrayRef("test", (ast.Var("i"),))
+
+
+def test_goto():
+    stmt = first("goto 10")
+    assert isinstance(stmt, ast.Goto) and stmt.target == 10
+
+
+def test_labels_attach_to_statements():
+    program = parse("10 x = 1\n20 continue")
+    assert [s.label for s in program.body] == [10, 20]
+
+
+def test_label_on_do():
+    stmt = first("77 do k = 1, n\nenddo")
+    assert isinstance(stmt, ast.Do) and stmt.label == 77
+
+
+def test_declarations():
+    program = parse("real x(100)\ninteger a(50)\nreal s")
+    decls = program.body
+    assert decls[0] == ast.Declaration("real", "x", ast.Num(100), line=1)
+    assert decls[1] == ast.Declaration("integer", "a", ast.Num(50), line=2)
+    assert decls[2].size is None
+
+
+def test_parameter():
+    stmt = first("parameter n = 100")
+    assert stmt == ast.ParameterDef("n", ast.Num(100), line=1)
+
+
+def test_distribute():
+    stmt = first("distribute x(block)")
+    assert stmt == ast.Distribute("x", "block", line=1)
+
+
+def test_distribute_bad_scheme():
+    with pytest.raises(ParseError):
+        parse("distribute x(diagonal)")
+
+
+def test_range_argument():
+    stmt = first("x = y(1:n)")
+    assert stmt.value == ast.ArrayRef("y", (ast.RangeExpr(ast.Num(1), ast.Var("n")),))
+
+
+def test_missing_enddo_raises():
+    with pytest.raises(ParseError):
+        parse("do i = 1, n\nx = 1")
+
+
+def test_missing_endif_raises():
+    with pytest.raises(ParseError):
+        parse("if t then\nx = 1")
+
+
+def test_trailing_junk_raises():
+    with pytest.raises(ParseError):
+        parse("x = 1 y")
+
+
+def test_empty_program():
+    assert parse("").body == []
+
+
+def test_program_split_helpers():
+    program = parse("real x(10)\nx(1) = 2")
+    assert len(program.declarations()) == 1
+    assert len(program.executables()) == 1
+
+
+def test_multi_subscript_arrays():
+    stmt = first("x(i, j) = 1")
+    assert stmt.target == ast.ArrayRef("x", (ast.Var("i"), ast.Var("j")))
+
+
+def test_source_lines_recorded():
+    program = parse("x = 1\n\ny = 2")
+    assert [s.line for s in program.body] == [1, 3]

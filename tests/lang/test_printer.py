@@ -1,0 +1,51 @@
+"""Printer tests: printed programs re-parse to the same printed form."""
+
+import pytest
+
+from repro.lang import ast
+from repro.lang.parser import parse
+from repro.lang.printer import format_comm, format_expr, format_program
+from repro.testing.programs import FIG1_SOURCE, FIG3_SOURCE, FIG11_SOURCE
+
+
+@pytest.mark.parametrize("source", [FIG1_SOURCE, FIG3_SOURCE, FIG11_SOURCE])
+def test_print_parse_fixpoint(source):
+    printed = format_program(parse(source))
+    assert format_program(parse(printed)) == printed
+
+
+def test_expr_formatting():
+    assert format_expr(parse("x = a + b * c").body[0].value) == "a + b * c"
+    assert format_expr(parse("x = (a + b) * c").body[0].value) == "(a + b) * c"
+
+
+def test_range_formatting():
+    assert format_expr(ast.RangeExpr(ast.Num(1), ast.Var("n"))) == "1:n"
+
+
+def test_labels_in_margin():
+    printed = format_program(parse("77 do k = 1, n\nx = 1\nenddo"))
+    assert printed.splitlines()[0].startswith("77")
+
+
+def test_nested_indentation():
+    printed = format_program(parse("do i = 1, n\nif t then\nx = 1\nendif\nenddo"))
+    lines = printed.splitlines()
+    assert lines[1].startswith(" " * 8) and "if" in lines[1]
+    assert "x = 1" in lines[2]
+
+
+def test_step_printed_only_when_nontrivial():
+    assert ", 2" in format_program(parse("do i = 1, n, 2\nenddo"))
+    assert ", 1" not in format_program(parse("do i = 1, n\nenddo"))
+
+
+def test_comm_statement_formatting():
+    comm = ast.Comm("read", "send", ["x(11:n+10)"])
+    assert format_comm(comm) == "READ_Send{x(11:n+10)}"
+    atomic = ast.Comm("write", None, ["y(1:n)", "x(1:n)"])
+    assert format_comm(atomic) == "WRITE{x(1:n), y(1:n)}"
+
+
+def test_opaque_printed_as_dots():
+    assert "... = ..." in format_program(parse("... = ..."))

@@ -1,0 +1,64 @@
+"""Symbol table tests."""
+
+import pytest
+
+from repro.lang import ast
+from repro.lang.parser import parse
+from repro.lang.symbols import Distribution, SymbolTable
+from repro.util.errors import AnalysisError
+
+
+def table(source):
+    return SymbolTable.from_program(parse(source))
+
+
+def test_array_declared():
+    st = table("real x(100)")
+    assert st.is_array("x")
+    assert st.arrays["x"].size == ast.Num(100)
+    assert st.arrays["x"].distribution is Distribution.REPLICATED
+
+
+def test_distribute_block():
+    st = table("real x(100)\ndistribute x(block)")
+    assert st.arrays["x"].distribution is Distribution.BLOCK
+    assert st.is_distributed("x")
+    assert st.distributed_arrays() == ["x"]
+
+
+def test_distribute_cyclic_and_replicated():
+    st = table("real x(10)\nreal y(10)\ndistribute x(cyclic)\ndistribute y(replicated)")
+    assert st.arrays["x"].distribution is Distribution.CYCLIC
+    assert not st.is_distributed("y")
+
+
+def test_scalar_declaration():
+    st = table("real s")
+    assert "s" in st.scalars and not st.is_array("s")
+
+
+def test_parameters_collected():
+    st = table("parameter n = 100")
+    assert st.parameters["n"] == ast.Num(100)
+
+
+def test_duplicate_array_raises():
+    with pytest.raises(AnalysisError):
+        table("real x(10)\nreal x(20)")
+
+
+def test_distribute_undeclared_raises():
+    with pytest.raises(AnalysisError):
+        table("distribute x(block)")
+
+
+def test_classify_ref():
+    st = table("real x(100)")
+    assert st.classify_ref(ast.ArrayRef("x", (ast.Num(1),))) == "array"
+    assert st.classify_ref(ast.ArrayRef("test", (ast.Var("i"),))) == "call"
+
+
+def test_classify_ref_type_error():
+    st = table("")
+    with pytest.raises(TypeError):
+        st.classify_ref(ast.Var("x"))

@@ -1,0 +1,57 @@
+"""Condition policy and model tests."""
+
+from repro.machine import ConditionPolicy, MachineModel, simulate
+
+
+def test_random_policy_is_seeded_deterministic():
+    program = "\n".join("if t then\na = 1\nendif" for _ in range(8))
+    first = simulate(program, policy=ConditionPolicy("random", seed=3))
+    second = simulate(program, policy=ConditionPolicy("random", seed=3))
+    assert first.work_time == second.work_time
+
+
+def test_random_policy_probability_extremes():
+    program = "\n".join("if t then\na = 1\nendif" for _ in range(20))
+    all_true = simulate(program,
+                        policy=ConditionPolicy("random", seed=1, probability=1.0))
+    all_false = simulate(program,
+                         policy=ConditionPolicy("random", seed=1, probability=0.0))
+    assert all_true.work_time == 20
+    assert all_false.work_time == 0
+
+
+def test_transfer_time_model():
+    machine = MachineModel(latency=100, time_per_element=2)
+    assert machine.transfer_time(10) == 120
+    assert machine.transfer_time(0) == 100
+
+
+def test_model_is_frozen():
+    import dataclasses
+
+    machine = MachineModel()
+    try:
+        machine.latency = 5
+        mutated = True
+    except dataclasses.FrozenInstanceError:
+        mutated = False
+    assert not mutated
+
+
+def test_comm_time_and_totals():
+    from repro.machine.metrics import ExecutionMetrics
+
+    metrics = ExecutionMetrics(messages=2, volume=10, work_time=50,
+                               overhead_time=5, exposed_latency=20,
+                               hidden_latency=30)
+    assert metrics.total_time == 75
+    assert metrics.comm_time == 25
+    assert "messages=2" in metrics.summary()
+
+
+def test_speedup_with_zero_time():
+    from repro.machine.metrics import ExecutionMetrics
+
+    empty = ExecutionMetrics()
+    busy = ExecutionMetrics(work_time=10)
+    assert empty.speedup_over(busy) == float("inf")

@@ -1,0 +1,144 @@
+"""Machine simulator tests."""
+
+import pytest
+
+from repro.machine import ConditionPolicy, MachineModel, Simulator, simulate
+from repro.util.errors import AnalysisError
+
+
+def test_work_accounting():
+    metrics = simulate("a = 1\nb = 2\nu = 3")
+    assert metrics.work_time == 3
+    assert metrics.messages == 0
+
+
+def test_do_loop_trip_count():
+    metrics = simulate("do i = 1, n\na = 1\nenddo", bindings={"n": 7})
+    assert metrics.work_time == 7
+
+
+def test_zero_trip_loop_executes_nothing():
+    metrics = simulate("do i = 5, 4\na = 1\nenddo")
+    assert metrics.work_time == 0
+
+
+def test_do_loop_with_step():
+    metrics = simulate("do i = 1, 10, 3\na = 1\nenddo")
+    assert metrics.work_time == 4  # i = 1, 4, 7, 10
+
+
+def test_parameters_feed_bindings():
+    metrics = simulate("parameter n = 3\ndo i = 1, n\na = 1\nenddo")
+    assert metrics.work_time == 3
+
+
+def test_if_condition_policies():
+    program = "if t then\na = 1\nelse\nb = 1\nb = 1\nendif"
+    assert simulate(program, policy=ConditionPolicy("always")).work_time == 1
+    assert simulate(program, policy=ConditionPolicy("never")).work_time == 2
+
+
+def test_arithmetic_conditions_evaluated():
+    program = "if n > 3 then\na = 1\nendif"
+    assert simulate(program, bindings={"n": 5}).work_time == 1
+    assert simulate(program, bindings={"n": 1}).work_time == 0
+
+
+def test_goto_out_of_loop():
+    program = (
+        "do i = 1, n\n"
+        "a = 1\n"
+        "if i == 3 goto 9\n"
+        "enddo\n"
+        "b = 1\n"
+        "9 u = 1\n"
+    )
+    metrics = simulate(program, bindings={"n": 100})
+    # three iterations of a=1, skip b=1, execute u=1
+    assert metrics.work_time == 4
+
+
+def test_send_recv_latency_hidden_behind_work():
+    machine = MachineModel(latency=10, time_per_element=0, message_overhead=0)
+    program = (
+        "read_send_marker = 0\n"  # placeholder work
+        "do i = 1, 20\na = 1\nenddo\n"
+    )
+    # hand-build: send, 20 units of work, recv
+    from repro.lang import ast
+    from repro.lang.parser import parse
+    prog = parse(program)
+    prog.body.insert(0, ast.Comm("read", "send", ["x(1:5)"]))
+    prog.body.append(ast.Comm("read", "recv", ["x(1:5)"]))
+    metrics = simulate(prog, machine)
+    assert metrics.exposed_latency == 0
+    assert metrics.hidden_latency == 10
+    assert metrics.messages == 1
+
+
+def test_recv_immediately_after_send_exposes_latency():
+    machine = MachineModel(latency=10, time_per_element=2, message_overhead=1)
+    from repro.lang import ast
+    from repro.lang.parser import parse
+    prog = parse("a = 1")
+    prog.body.insert(0, ast.Comm("read", "send", ["x(1:4)"]))
+    prog.body.insert(1, ast.Comm("read", "recv", ["x(1:4)"]))
+    metrics = simulate(prog, machine)
+    assert metrics.exposed_latency == 10 + 2 * 4
+    assert metrics.volume == 4
+    assert metrics.overhead_time == 1
+
+
+def test_atomic_comm_exposes_everything():
+    machine = MachineModel(latency=10, time_per_element=1, message_overhead=0)
+    from repro.lang import ast
+    from repro.lang.parser import parse
+    prog = parse("a = 1")
+    prog.body.insert(0, ast.Comm("read", None, ["x(1:5)"]))
+    metrics = simulate(prog, machine)
+    assert metrics.exposed_latency == 15
+    assert metrics.messages == 1
+
+
+def test_vectorized_recv_completes_multiple_sends():
+    from repro.lang import ast
+    from repro.lang.parser import parse
+    prog = parse("a = 1")
+    prog.body.insert(0, ast.Comm("read", "send", ["x(1:5)"]))
+    prog.body.insert(1, ast.Comm("read", "send", ["y(1:5)"]))
+    prog.body.append(ast.Comm("read", "recv", ["x(1:5)", "y(1:5)"]))
+    metrics = simulate(prog)
+    assert metrics.messages == 2
+    assert metrics.volume == 10
+
+
+def test_recv_without_send_raises():
+    from repro.lang import ast
+    from repro.lang.parser import parse
+    prog = parse("a = 1")
+    prog.body.append(ast.Comm("read", "recv", ["x(1:5)"]))
+    with pytest.raises(AnalysisError):
+        simulate(prog)
+
+
+def test_partial_section_size_uses_current_index():
+    # y(a(1:i)) evaluated where i is bound by the enclosing loop
+    from repro.lang import ast
+    from repro.lang.parser import parse
+    prog = parse("do i = 1, 4\na = 1\nenddo")
+    loop = prog.body[0]
+    loop.body.append(ast.Comm("write", None, ["y(a(1:i))"]))
+    metrics = simulate(prog)
+    assert metrics.volume == 1 + 2 + 3 + 4
+
+
+def test_unbound_variable_raises():
+    with pytest.raises(AnalysisError):
+        simulate("do i = 1, n\na = 1\nenddo")
+
+
+def test_metrics_speedup_and_summary():
+    fast = simulate("a = 1")
+    slow = simulate("a = 1\nb = 1\nu = 1")
+    assert slow.speedup_over(fast) < 1 < fast.speedup_over(slow)
+    assert "messages=0" in fast.summary()

@@ -1,0 +1,134 @@
+"""PRE baseline tests: LCM and Morel-Renvoise on canonical shapes."""
+
+from repro.pre import (
+    build_cse_problem,
+    gnt_pre_placement,
+    lazy_code_motion,
+    morel_renvoise,
+)
+from repro.pre.gnt_pre import lazy_insertion_nodes
+from repro.testing.programs import analyze_source
+
+
+def run_all(source):
+    analyzed = analyze_source(source)
+    problem, _ = build_cse_problem(analyzed)
+    return (
+        analyzed,
+        problem,
+        lazy_code_motion(analyzed.ifg, problem),
+        morel_renvoise(analyzed.ifg, problem),
+        gnt_pre_placement(analyzed.ifg, problem),
+    )
+
+
+def test_full_redundancy_eliminated():
+    analyzed, problem, lcm, mr, gnt = run_all("u = a + b\nv = a + b")
+    second = analyzed.node_named("v =")
+    assert second in lcm.delete_nodes
+    assert second in mr.delete_nodes
+    assert lcm.insertion_count() == 0
+    assert mr.insertion_count() == 0
+    # GNT: one lazy production at the first use only
+    assert lazy_insertion_nodes(gnt, "a + b") == [analyzed.node_named("u =")]
+
+
+def test_diamond_join_redundancy():
+    analyzed, problem, lcm, mr, gnt = run_all(
+        "if t then\nu = a + b\nelse\nw = a + b\nendif\nv = a + b")
+    join = analyzed.node_named("v =")
+    assert join in lcm.delete_nodes
+    assert join in mr.delete_nodes
+    assert lcm.insertion_count() == 0
+
+
+def test_partial_redundancy_insertion_on_empty_branch():
+    analyzed, problem, lcm, mr, gnt = run_all(
+        "if t then\nu = a + b\nendif\nv = a + b")
+    join = analyzed.node_named("v =")
+    assert join in lcm.delete_nodes
+    assert join in mr.delete_nodes
+    # insertion on the synthesized else edge for both classical methods
+    lcm_nodes = lcm.node_insertions_for("a + b")
+    assert len(lcm_nodes) == 1 and lcm_nodes[0].synthetic
+    mr_nodes = mr.node_insertions_for("a + b")
+    assert len(mr_nodes) == 1 and mr_nodes[0].synthetic
+
+
+def test_kill_blocks_elimination():
+    analyzed, problem, lcm, mr, gnt = run_all("u = a + b\na = 1\nv = a + b")
+    assert analyzed.node_named("v =") not in lcm.delete_nodes
+    assert analyzed.node_named("v =") not in mr.delete_nodes
+
+
+def test_zero_trip_loop_classical_pre_does_not_hoist():
+    analyzed, problem, lcm, mr, gnt = run_all("do i = 1, n\nu = a + b\nenddo")
+    # LCM/MR: no insertion outside the loop, use not deleted
+    assert lcm.insertion_count() == 0
+    assert mr.insertion_count() == 0
+    assert analyzed.node_named("u =") not in lcm.delete_nodes
+    # GIVE-N-TAKE hoists to (before) the loop header
+    assert lazy_insertion_nodes(gnt, "a + b") == [analyzed.node_named("do i")]
+
+
+def test_loop_with_guaranteed_use_after():
+    # use both inside and after the loop: classical PRE may still place
+    # conservatively; GNT keeps a single production before the loop.
+    analyzed, problem, lcm, mr, gnt = run_all(
+        "do i = 1, n\nu = a + b\nenddo\nv = a + b")
+    gnt_nodes = lazy_insertion_nodes(gnt, "a + b")
+    assert gnt_nodes == [analyzed.node_named("do i")]
+
+
+def test_entry_anticipated_expression_inserted_at_entry():
+    analyzed, problem, lcm, mr, gnt = run_all("v = a + b\nw = a + b")
+    # LCM semantics: laterin stops at the first use; nothing inserted,
+    # first computation kept.
+    assert analyzed.node_named("v =") not in lcm.delete_nodes
+    assert analyzed.node_named("w =") in lcm.delete_nodes
+
+
+def test_lcm_variables_exposed():
+    analyzed, problem, lcm, mr, gnt = run_all("u = a + b")
+    assert "ANTIN" in lcm.variables and "AVOUT" in lcm.variables
+    assert "PPIN" in mr.variables
+
+
+def test_gnt_matches_lcm_dynamic_cost_on_random_programs():
+    """On random structured programs the LAZY GNT evaluation count along
+    each >=1-trip path never exceeds classical LCM's (GNT may do better
+    thanks to zero-trip hoisting, never worse)."""
+    from repro.core.paths import enumerate_paths
+    from repro.pre.gnt_pre import evaluations_on_path
+    from repro.testing.generator import random_analyzed_program
+
+    for seed in range(6):
+        analyzed = random_analyzed_program(seed, size=12, goto_probability=0.0)
+        problem, _ = build_cse_problem(analyzed)
+        # enrich: add a shared expression at several nodes
+        source_nodes = [n for n in analyzed.ifg.real_nodes()
+                        if n.kind.value == "stmt"][:4]
+        for node in source_nodes:
+            problem.add_take(node, "x + y")
+        lcm = lazy_code_motion(analyzed.ifg, problem)
+        gnt = gnt_pre_placement(analyzed.ifg, problem)
+        for path in enumerate_paths(analyzed.ifg, max_paths=40, min_trips=1):
+            gnt_cost = evaluations_on_path(gnt, problem, path, analyzed.ifg)
+            lcm_cost = _lcm_cost(lcm, problem, path)
+            assert gnt_cost <= lcm_cost, (seed, gnt_cost, lcm_cost)
+
+
+def _lcm_cost(lcm, problem, path):
+    """Dynamic evaluations under LCM: inserted computations executed on
+    the path plus original uses not deleted."""
+    cost = 0
+    nodes_on_path = path
+    edges_on_path = list(zip(path, path[1:]))
+    for edge in edges_on_path:
+        cost += bin(lcm.insert_edges.get(edge, 0)).count("1")
+    entry_edge_bits = lcm.insert_edges.get((None, path[0]), 0)
+    cost += bin(entry_edge_bits).count("1")
+    for node in nodes_on_path:
+        remaining = problem.take_init(node) & ~lcm.delete_nodes.get(node, 0)
+        cost += bin(remaining).count("1")
+    return cost

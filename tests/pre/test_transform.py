@@ -1,0 +1,162 @@
+"""CSE transformation tests, including semantic equivalence."""
+
+import pytest
+
+from repro.lang import ast
+from repro.lang.parser import parse
+from repro.pre.transform import eliminate_common_subexpressions
+from repro.testing.programs import analyze_source
+
+
+def transformed(source):
+    return eliminate_common_subexpressions(analyze_source(source))
+
+
+def lines_of(result):
+    return [line.strip() for line in result.transformed_source().splitlines()
+            if line.strip()]
+
+
+def evaluate(program_text, env):
+    """A tiny scalar interpreter: executes assignments/ifs/loops over
+    integer variables; returns the final environment."""
+    program = parse(program_text)
+    env = dict(env)
+
+    def value(expr):
+        if isinstance(expr, ast.Num):
+            return expr.value
+        if isinstance(expr, ast.Var):
+            return env[expr.name]
+        if isinstance(expr, ast.BinOp):
+            left, right = value(expr.left), value(expr.right)
+            return {
+                "+": left + right, "-": left - right, "*": left * right,
+                "/": left // right if right else 0,
+                "<": left < right, ">": left > right,
+                "<=": left <= right, ">=": left >= right,
+                "==": left == right, "!=": left != right,
+            }[expr.op]
+        raise AssertionError(f"unexpected {expr!r}")
+
+    def run(body):
+        for stmt in body:
+            if isinstance(stmt, ast.Assign) and isinstance(stmt.target, ast.Var):
+                env[stmt.target.name] = value(stmt.value)
+            elif isinstance(stmt, ast.Do):
+                i = value(stmt.lo)
+                while i <= value(stmt.hi):
+                    env[stmt.var] = i
+                    run(stmt.body)
+                    i += value(stmt.step)
+            elif isinstance(stmt, ast.If):
+                run(stmt.then_body if value(stmt.cond) else stmt.else_body)
+
+    run(program.executables())
+    return {k: v for k, v in env.items() if not k.startswith("__")}
+
+
+def test_full_redundancy_single_evaluation():
+    lines = lines_of(transformed("u = a + b\nv = a + b"))
+    assert lines == ["__cse0 = a + b", "u = __cse0", "v = __cse0"]
+
+
+def test_partial_redundancy_materializes_else():
+    lines = lines_of(transformed("if t then\nu = a + b\nendif\nv = a + b"))
+    assert lines.count("__cse0 = a + b") == 2  # then branch + new else
+    assert "v = __cse0" in lines
+    assert "else" in lines
+
+
+def test_loop_invariant_hoisted():
+    lines = lines_of(transformed("do i = 1, n\nu = a + b\nenddo"))
+    assert lines[0] == "__cse0 = a + b"   # above the (zero-trip) loop
+    assert "u = __cse0" in lines
+
+
+def test_kill_forces_reevaluation():
+    lines = lines_of(transformed("u = a + b\na = 1\nv = a + b"))
+    assert lines.count("__cse0 = a + b") == 2
+    kill = lines.index("a = 1")
+    assert lines.index("__cse0 = a + b", kill) > kill
+
+
+def test_nested_subexpressions():
+    result = transformed("u = a + b\nv = (a + b) * c\nw = (a + b) * c")
+    lines = lines_of(result)
+    # a+b and (a+b)*c are both expressions; the temp for a+b feeds the
+    # temp for the product
+    assert any(l.startswith("__cse") and "* c" in l for l in lines)
+
+
+SEMANTIC_CASES = [
+    "u = a + b\nv = a + b",
+    "if a < b then\nu = a + b\nelse\nu = a - b\nendif\nv = a + b",
+    "do i = 1, 3\nu = a + b\ns = s + u\nenddo",
+    "u = a + b\na = 7\nv = a + b\nw = v * 2",
+    "do i = 1, 2\ndo j = 1, 2\nt = a * b\ns = s + t\nenddo\nenddo",
+]
+
+
+@pytest.mark.parametrize("source", SEMANTIC_CASES)
+def test_semantic_equivalence(source):
+    env = {"a": 3, "b": 4, "s": 0, "n": 3}
+    original = evaluate(source, env)
+    result = transformed(source)
+    rewritten = evaluate(result.transformed_source(), env)
+    assert rewritten == original
+
+
+def test_temporaries_map_exposed():
+    result = transformed("u = a + b\nv = a + b")
+    assert result.temporaries == {"a + b": "__cse0"}
+    assert result.evaluation_sites("a + b")
+
+
+# ---------------------------------------------------------------------------
+# The LCM-driven transform: same redundancy elimination, no zero-trip
+# hoisting — the paper's headline contrast, now visible as source diffs.
+# ---------------------------------------------------------------------------
+
+def lcm_transformed(source):
+    from repro.pre.transform import eliminate_with_lcm
+
+    return eliminate_with_lcm(analyze_source(source))
+
+
+def test_lcm_matches_gnt_on_plain_redundancy():
+    gnt = lines_of(transformed("u = a + b\nv = a + b"))
+    lcm = lines_of(lcm_transformed("u = a + b\nv = a + b"))
+    assert [l.replace("__lcm", "__cse") for l in lcm] == gnt
+
+
+def test_lcm_does_not_hoist_zero_trip_loop():
+    lines = lines_of(lcm_transformed("do i = 1, n\nu = a + b\nenddo"))
+    assert lines == ["do i = 1, n", "u = a + b", "enddo"]
+    # ... while GNT hoists:
+    gnt_lines = lines_of(transformed("do i = 1, n\nu = a + b\nenddo"))
+    assert gnt_lines[0] == "__cse0 = a + b"
+
+
+def test_lcm_materializes_else_branch_too():
+    lines = lines_of(lcm_transformed(
+        "if t then\nu = a + b\nendif\nv = a + b"))
+    assert lines.count("__lcm0 = a + b") == 2
+    assert "v = __lcm0" in lines
+
+
+@pytest.mark.parametrize("source", SEMANTIC_CASES)
+def test_lcm_transform_semantic_equivalence(source):
+    env = {"a": 3, "b": 4, "s": 0, "n": 3}
+    original = evaluate(source, env)
+    result = lcm_transformed(source)
+    rewritten = evaluate(result.transformed_source(), env)
+    assert rewritten == original
+
+
+@pytest.mark.parametrize("source", SEMANTIC_CASES)
+def test_gnt_and_lcm_transforms_agree_semantically(source):
+    env = {"a": 2, "b": 9, "s": 1, "n": 3}
+    gnt = evaluate(transformed(source).transformed_source(), env)
+    lcm = evaluate(lcm_transformed(source).transformed_source(), env)
+    assert gnt == lcm

@@ -1,0 +1,84 @@
+"""Cache prefetching application tests (§6 generality claim)."""
+
+from repro.machine import MachineModel, simulate
+from repro.prefetch import generate_prefetches
+
+TWO_PHASE = """
+real x(1000)
+real y(1000)
+    do i = 1, n
+        v = y(i)
+    enddo
+    do k = 1, n
+        u = x(k + 10)
+    enddo
+"""
+
+
+def test_prefetch_issue_and_wait_markers():
+    text = generate_prefetches(TWO_PHASE).annotated_source()
+    assert "PREFETCH{x(11:n + 10)}" in text
+    assert "PREFETCH{y(1:n)}" in text
+    assert "WAIT{x(11:n + 10)}" in text
+    assert "WAIT{y(1:n)}" in text
+    assert "READ" not in text  # the comm names do not leak in
+
+
+def test_prefetches_hoisted_to_top():
+    lines = [line.strip() for line in
+             generate_prefetches(TWO_PHASE).annotated_source().splitlines()]
+    # both prefetches before any loop
+    first_loop = lines.index("do i = 1, n")
+    prefetch_lines = [i for i, l in enumerate(lines) if l.startswith("PREFETCH")]
+    assert prefetch_lines and max(prefetch_lines) < first_loop
+
+
+def test_repeated_load_prefetches_once():
+    source = "real x(100)\nu = x(5)\nw = x(5)"
+    result = generate_prefetches(source)
+    text = result.annotated_source()
+    assert text.count("PREFETCH{x(5)}") == 1
+
+
+def test_store_invalidates_prefetched_line():
+    source = "real x(100)\nu = x(5)\nx(5) = 1\nw = x(5)"
+    text = generate_prefetches(source).annotated_source()
+    # the store steals nothing from its own section with write-allocate:
+    # the stored line is in cache, so NO second prefetch
+    assert text.count("PREFETCH{x(5)}") == 1
+
+
+def test_store_without_write_allocate_forces_refetch():
+    source = "real x(100)\nu = x(5)\nx(5) = 1\nw = x(5)"
+    text = generate_prefetches(source, write_allocate=False).annotated_source()
+    assert text.count("PREFETCH{x(5)}") == 2
+
+
+def test_conflicting_store_invalidates_other_sections():
+    source = (
+        "real x(100)\ninteger a(100)\n"
+        "do k = 1, n\nu = x(a(k))\nenddo\n"
+        "x(1) = 2\n"
+        "do l = 1, n\nw = x(a(l))\nenddo\n"
+    )
+    text = generate_prefetches(source).annotated_source()
+    assert text.count("PREFETCH{x(a(1:n))}") == 2  # refetch after the store
+
+
+def test_latency_hidden_behind_earlier_loop():
+    machine = MachineModel(latency=40, time_per_element=0.1, message_overhead=1)
+    result = generate_prefetches(TWO_PHASE)
+    metrics = simulate(result.annotated_program, machine, {"n": 64})
+    # the x prefetch hides entirely behind the y loop (y's own prefetch
+    # is consumed immediately and stays exposed)
+    assert metrics.hidden_latency >= machine.latency
+    assert metrics.hidden_latency >= metrics.exposed_latency
+
+
+def test_placement_is_balanced():
+    from repro.core import check_placement
+
+    result = generate_prefetches(TWO_PHASE)
+    report = check_placement(result.analyzed.ifg, result.problem,
+                             result.placement, min_trips=1)
+    assert report.ok(ignore=("redundant",)), str(report)

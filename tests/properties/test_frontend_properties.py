@@ -1,0 +1,45 @@
+"""Frontend round-trip properties on random programs."""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.lang.parser import parse
+from repro.lang.printer import format_program
+from repro.testing.generator import ArrayProgramGenerator, ProgramGenerator
+
+SETTINGS = dict(max_examples=30, deadline=None,
+                suppress_health_check=[HealthCheck.too_slow])
+
+seeds = st.integers(min_value=0, max_value=10_000)
+sizes = st.integers(min_value=1, max_value=40)
+
+
+@settings(**SETTINGS)
+@given(seeds, sizes)
+def test_print_parse_fixpoint_on_random_programs(seed, size):
+    program = ProgramGenerator(seed, goto_probability=0.4).program(size)
+    printed = format_program(program)
+    assert format_program(parse(printed)) == printed
+
+
+@settings(**SETTINGS)
+@given(seeds, sizes)
+def test_print_parse_fixpoint_on_array_programs(seed, size):
+    program = ArrayProgramGenerator(seed).program(size)
+    printed = format_program(program)
+    assert format_program(parse(printed)) == printed
+
+
+@settings(**SETTINGS)
+@given(seeds)
+def test_reparsed_program_produces_identical_graph(seed):
+    from repro.testing.programs import AnalyzedProgram
+    from repro.graph.traversal import preorder_numbering
+
+    program = ProgramGenerator(seed, goto_probability=0.4).program(14)
+    first = AnalyzedProgram(program)
+    second = AnalyzedProgram(parse(format_program(program)))
+    assert len(first.ifg.real_nodes()) == len(second.ifg.real_nodes())
+    first_kinds = [n.kind for n in first.ifg.real_nodes()]
+    second_kinds = [n.kind for n in second.ifg.real_nodes()]
+    assert first_kinds == second_kinds

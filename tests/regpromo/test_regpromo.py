@@ -1,0 +1,108 @@
+"""Register promotion tests (§1's unified load/store claim)."""
+
+from repro.regpromo import promote_registers
+from repro.regpromo.pipeline import build_load_problem, build_store_problem
+
+
+def annotated(source):
+    return promote_registers(source).annotated_source()
+
+
+def lines_of(source):
+    return [line.strip() for line in annotated(source).splitlines()
+            if line.strip()]
+
+
+def test_accumulator_load_before_store_after():
+    lines = lines_of(
+        "real s(100)\n"
+        "do i = 1, n\ns(1) = s(1) + w(i)\nenddo")
+    assert lines.index("LOAD{s(1)}") < lines.index("do i = 1, n")
+    assert lines.index("STORE{s(1)}") > lines.index("enddo")
+
+
+def test_load_hoisted_store_sunk_around_loop():
+    lines = lines_of(
+        "real x(100)\n"
+        "do i = 1, n\nu = x(5)\nx(5) = u + 1\nenddo\nw = x(5)")
+    assert lines[1] == "LOAD{x(5)}"              # before the loop
+    assert lines[-1] == "STORE{x(5)}"            # after the last use
+    # exactly one of each — all in-loop traffic is register traffic
+    assert sum(1 for l in lines if l.startswith("LOAD")) == 1
+    assert sum(1 for l in lines if l.startswith("STORE")) == 1
+
+
+def test_same_point_read_served_by_register():
+    # the read after the def needs no LOAD (give-for-free) and the STORE
+    # may be deferred past it (the register forwards)
+    lines = lines_of("real x(100)\nx(5) = 1\nw = x(5)")
+    assert "LOAD{x(5)}" not in lines
+    assert lines[-1] == "STORE{x(5)}"
+
+
+def test_aliasing_read_fences_the_store():
+    # x(j) may alias x(5): the store must reach memory before the read
+    lines = lines_of("real x(100)\nx(5) = 1\nw = x(j)")
+    store = lines.index("STORE{x(5)}")
+    read = lines.index("w = x(j)")
+    assert store < read
+    # and x(j) itself is loaded (it is a point, j loop-invariant)
+    assert "LOAD{x(j)}" in lines
+
+
+def test_aliasing_def_invalidates_register():
+    # a def through x(j) may clobber x(5): reload before the later use
+    lines = lines_of("real x(100)\nu = x(5)\nx(j) = 1\nw = x(5)")
+    loads = [i for i, l in enumerate(lines) if l == "LOAD{x(5)}"]
+    assert len(loads) == 2
+    assert loads[0] < lines.index("x(j) = 1") < loads[1]
+
+
+def test_distinct_constant_points_do_not_alias():
+    lines = lines_of("real x(100)\nu = x(5)\nx(6) = 1\nw = x(5)")
+    assert sum(1 for l in lines if l == "LOAD{x(5)}") == 1
+
+
+def test_sections_are_not_promoted():
+    # x(i) inside the loop varies: not register material
+    lines = lines_of("real x(100)\ndo i = 1, n\nu = x(i)\nenddo")
+    assert not any(l.startswith(("LOAD", "STORE")) for l in lines)
+
+
+def test_branchy_promotion_is_balanced():
+    from repro.core import check_placement
+
+    source = (
+        "real x(100)\n"
+        "if t then\nu = x(5)\nelse\nx(5) = 2\nendif\n"
+        "w = x(5)"
+    )
+    result = promote_registers(source)
+    for problem, placement in (
+        (result.load_problem, result.load_placement),
+        (result.store_problem, result.store_placement),
+    ):
+        report = check_placement(result.analyzed.ifg, problem, placement,
+                                 min_trips=1)
+        assert report.ok(ignore=("safety", "redundant")), str(report)
+
+
+def test_memory_traffic_reduction_measured():
+    from repro.machine import MachineModel, simulate
+
+    source = (
+        "real s(100)\n"
+        "do i = 1, n\ns(1) = s(1) + w(i)\nenddo"
+    )
+    promoted = promote_registers(source)
+    machine = MachineModel(latency=20, time_per_element=0, message_overhead=1)
+    metrics = simulate(promoted.annotated_program, machine, {"n": 100})
+    # 1 LOAD + 1 STORE instead of 200 in-loop accesses
+    assert metrics.messages == 2
+
+
+def test_counts_api():
+    result = promote_registers(
+        "real x(100)\nu = x(5)\nx(7) = 2\n")
+    assert result.load_count() == 1
+    assert result.store_count() == 1

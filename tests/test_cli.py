@@ -1,0 +1,123 @@
+"""Command-line interface tests."""
+
+import io
+
+import pytest
+
+from repro.cli import main
+from repro.testing.programs import FIG11_SOURCE
+
+
+@pytest.fixture
+def fig11_file(tmp_path):
+    path = tmp_path / "fig11.f"
+    path.write_text(FIG11_SOURCE)
+    return str(path)
+
+
+def run(argv):
+    out = io.StringIO()
+    code = main(argv, out=out)
+    return code, out.getvalue()
+
+
+def test_annotate(fig11_file):
+    code, output = run(["annotate", fig11_file])
+    assert code == 0
+    assert "READ_Send{x(11:n + 10)}" in output
+    assert "read and" in output  # the summary comment
+
+
+def test_annotate_atomic(fig11_file):
+    code, output = run(["annotate", fig11_file, "--atomic"])
+    assert code == 0
+    assert "READ{" in output and "READ_Send" not in output
+
+
+def test_annotate_owner_computes(fig11_file):
+    code, output = run(["annotate", fig11_file, "--owner-computes"])
+    assert code == 0
+    assert "WRITE" not in output
+
+
+def test_graph_listing(fig11_file):
+    code, output = run(["graph", fig11_file])
+    assert code == 0
+    assert "header" in output
+    assert "(4, 10) JUMP" in output
+
+
+def test_graph_dot(fig11_file):
+    code, output = run(["graph", fig11_file, "--dot"])
+    assert code == 0
+    assert output.startswith("digraph")
+
+
+def test_simulate_gnt_vs_naive(fig11_file):
+    code, gnt = run(["simulate", fig11_file, "--n", "16", "--branch", "never"])
+    assert code == 0
+    code, naive = run(["simulate", fig11_file, "--n", "16", "--branch",
+                       "never", "--naive"])
+    assert code == 0
+    gnt_messages = int(gnt.split("messages=")[1].split()[0])
+    naive_messages = int(naive.split("messages=")[1].split()[0])
+    assert gnt_messages < naive_messages
+
+
+def test_pre_report(tmp_path):
+    path = tmp_path / "cse.f"
+    path.write_text("u = a + b\nv = a + b\n")
+    code, output = run(["pre", str(path)])
+    assert code == 0
+    assert "a + b:" in output
+    assert "GNT evaluates at" in output
+
+
+def test_pre_no_expressions(tmp_path):
+    path = tmp_path / "empty.f"
+    path.write_text("u = 1\n")
+    code, output = run(["pre", str(path)])
+    assert code == 0
+    assert "no candidate expressions" in output
+
+
+def test_missing_file_error():
+    code, _ = run(["annotate", "/nonexistent/path.f"])
+    assert code == 1
+
+
+def test_parse_error_reported(tmp_path):
+    path = tmp_path / "bad.f"
+    path.write_text("do i = 1, n\n")  # missing enddo
+    code, _ = run(["annotate", str(path)])
+    assert code == 1
+
+
+def test_irreducible_program_reported(tmp_path):
+    path = tmp_path / "irr.f"
+    path.write_text("if t goto 5\ndo i = 1, n\n5 a = 1\nenddo\n")
+    code, _ = run(["graph", str(path)])
+    assert code == 1
+
+
+def test_annotate_no_hoist(fig11_file):
+    code, output = run(["annotate", fig11_file, "--no-hoist"])
+    assert code == 0
+    # nothing is hoisted above the loops: the sends live inside them
+    top = output.split("do i")[0]
+    assert "READ_Send" not in top
+
+
+def test_annotate_conservative_jumps(fig11_file):
+    code, output = run(["annotate", fig11_file, "--conservative-jumps"])
+    assert code == 0
+    # the conservative §5.3 mode keeps per-iteration write regions
+    assert output.count("WRITE_Send") >= 1
+
+
+def test_stdin_input(monkeypatch):
+    import sys
+    monkeypatch.setattr(sys, "stdin", io.StringIO("u = 1\n"))
+    code, output = run(["graph", "-"])
+    assert code == 0
+    assert "u = 1" in output

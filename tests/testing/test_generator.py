@@ -1,0 +1,84 @@
+"""Random program/problem generator tests."""
+
+import pytest
+
+from repro.graph.cfg import NodeKind
+from repro.graph.normalize import validate_normalized
+from repro.lang import ast
+from repro.testing.generator import (
+    ProgramGenerator,
+    random_analyzed_program,
+    random_problem,
+)
+from repro.testing.graphs import diamond, loop_with_jump, nested_loops, simple_loop
+
+
+def test_generator_is_deterministic():
+    from repro.lang.printer import format_program
+
+    first = ProgramGenerator(seed=5).program(size=15)
+    second = ProgramGenerator(seed=5).program(size=15)
+    assert format_program(first) == format_program(second)
+
+
+def test_generator_respects_size_budget():
+    for size in (10, 40, 160):
+        program = ProgramGenerator(seed=1).program(size=size)
+        count = sum(1 for _ in ast.walk_statements(program.body))
+        assert count >= size  # budget fully used
+        assert count <= size * 3  # and not wildly exceeded
+
+
+def test_generated_programs_analyze_cleanly():
+    for seed in range(20):
+        analyzed = random_analyzed_program(seed, size=15, goto_probability=0.5)
+        validate_normalized(analyzed.ifg.cfg)
+
+
+def test_gotos_are_forward_and_outward():
+    generator = ProgramGenerator(seed=9, goto_probability=1.0)
+    program = generator.program(size=25)
+    labels = {}
+    for stmt in ast.walk_statements(program.body):
+        if stmt.label is not None:
+            labels[stmt.label] = stmt
+    for stmt in ast.walk_statements(program.body):
+        if isinstance(stmt, ast.IfGoto):
+            assert stmt.target in labels
+
+
+def test_random_problem_every_element_has_consumer():
+    analyzed = random_analyzed_program(3, size=12)
+    problem = random_problem(analyzed, seed=4, n_elements=4)
+    for element in problem.universe:
+        consumers = [
+            n for n in analyzed.ifg.real_nodes() if
+            problem.take_init(n) & problem.universe.bit(element)
+        ]
+        assert consumers, element
+
+
+def test_random_problem_annotates_stmt_nodes_only():
+    analyzed = random_analyzed_program(3, size=12)
+    problem = random_problem(analyzed, seed=4)
+    for node in problem.annotated_nodes():
+        assert node.kind is NodeKind.STMT
+
+
+def test_graph_sketches():
+    assert len(diamond().ifg.real_nodes()) >= 6
+    loop = simple_loop()
+    assert loop.ifg.forest.headers()
+    nested = nested_loops()
+    levels = {nested.ifg.level(n) for n in nested.ifg.real_nodes()}
+    assert 3 in levels
+    jumped = loop_with_jump()
+    assert jumped.ifg.jump_edges()
+
+
+def test_sketch_lookup_and_names():
+    sketch = diamond()
+    assert sketch["branch"].name == "branch"
+    assert "join" in sketch.names()
+    with pytest.raises(KeyError):
+        sketch["missing"]

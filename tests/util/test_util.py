@@ -1,0 +1,69 @@
+"""Utility module tests."""
+
+import pytest
+
+from repro.util import OrderedSet, format_set, indent_block
+from repro.util.errors import ParseError, ReproError, SolverError
+
+
+def test_ordered_set_preserves_insertion_order():
+    s = OrderedSet([3, 1, 2, 1])
+    assert list(s) == [3, 1, 2]
+    s.add(0)
+    assert list(s) == [3, 1, 2, 0]
+
+
+def test_ordered_set_discard_and_contains():
+    s = OrderedSet("abc")
+    s.discard("b")
+    s.discard("zz")  # no error
+    assert "a" in s and "b" not in s
+    assert len(s) == 2
+
+
+def test_ordered_set_first():
+    assert OrderedSet([7, 8]).first() == 7
+    with pytest.raises(KeyError):
+        OrderedSet().first()
+
+
+def test_ordered_set_equality_with_plain_sets():
+    assert OrderedSet([1, 2]) == {2, 1}
+    assert OrderedSet([1]) != {1, 2}
+
+
+def test_ordered_set_update_and_copy():
+    s = OrderedSet([1])
+    s.update([2, 3])
+    t = s.copy()
+    t.add(4)
+    assert list(s) == [1, 2, 3]
+    assert list(t) == [1, 2, 3, 4]
+
+
+def test_ordered_set_unhashable():
+    with pytest.raises(TypeError):
+        hash(OrderedSet())
+
+
+def test_format_set_sorted_and_empty():
+    assert format_set(["b", "a"]) == "{a, b}"
+    assert format_set([]) == "{}"
+    assert format_set([], empty="-") == "-"
+
+
+def test_indent_block():
+    assert indent_block("a\nb") == "    a\n    b"
+    assert indent_block("a", levels=2, width=2) == "    a"
+    assert indent_block("a\n\nb") == "    a\n\n    b"  # blank lines kept bare
+
+
+def test_error_hierarchy():
+    assert issubclass(ParseError, ReproError)
+    assert issubclass(SolverError, ReproError)
+
+
+def test_parse_error_location_formatting():
+    error = ParseError("bad token", line=3, column=7)
+    assert "line 3" in str(error) and "column 7" in str(error)
+    assert str(ParseError("oops")) == "oops"
