@@ -55,8 +55,20 @@ from repro.graph import (
 )
 from repro.lang import format_program, parse
 from repro.testing.programs import AnalyzedProgram, analyze_source
-from repro.commgen import generate_communication, naive_communication
-from repro.machine import ConditionPolicy, MachineModel, simulate
+from repro.commgen import (
+    HardenedPipeline,
+    ResourceBudget,
+    generate_communication,
+    harden_communication,
+    naive_communication,
+)
+from repro.machine import (
+    ConditionPolicy,
+    FaultPlan,
+    MachineModel,
+    RetryPolicy,
+    simulate,
+)
 
 __version__ = "1.0.0"
 
@@ -85,8 +97,13 @@ __all__ = [
     "analyze_source",
     "generate_communication",
     "naive_communication",
+    "HardenedPipeline",
+    "ResourceBudget",
+    "harden_communication",
     "ConditionPolicy",
+    "FaultPlan",
     "MachineModel",
+    "RetryPolicy",
     "simulate",
     "__version__",
 ]

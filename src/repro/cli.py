@@ -4,9 +4,12 @@
 
     python -m repro annotate program.f [--atomic] [--owner-computes]
                                        [--no-hoist] [--conservative-jumps]
+                                       [--hardened]
     python -m repro graph program.f [--dot]
     python -m repro simulate program.f [--n N] [--latency L] [--branch MODE]
-                                       [--naive] [--overhead O]
+                                       [--naive] [--overhead O] [--hardened]
+                                       [--faults SPEC] [--retries N]
+                                       [--timeout T]
     python -m repro pre program.f
 
 ``annotate`` prints the program with balanced READ/WRITE communication
@@ -15,16 +18,35 @@ flow graph (optionally as Graphviz dot); ``simulate`` runs the annotated
 program on the machine model and reports messages/volume/latency;
 ``pre`` reports common-subexpression placement under GIVE-N-TAKE, Lazy
 Code Motion, and Morel-Renvoise.
+
+``--hardened`` routes placement through the self-checking
+:class:`~repro.commgen.hardened.HardenedPipeline`; ``--faults`` injects
+seeded message loss/duplication/jitter/crashes into the simulation,
+recovered by the ``--retries``/``--timeout`` backoff protocol (see
+``docs/robustness.md``).
+
+Every library error (:class:`~repro.util.errors.ReproError`) exits with
+status 2 and a one-line ``error: ...`` message — never a traceback.
 """
 
 import argparse
 import sys
 
-from repro.commgen import generate_communication, naive_communication
+from repro.commgen import (
+    HardenedPipeline,
+    generate_communication,
+    naive_communication,
+)
 from repro.graph.dot import interval_graph_to_dot
-from repro.machine import ConditionPolicy, MachineModel, simulate
+from repro.machine import (
+    ConditionPolicy,
+    FaultPlan,
+    MachineModel,
+    RetryPolicy,
+    simulate,
+)
 from repro.testing.programs import analyze_source
-from repro.util.errors import ReproError
+from repro.util.errors import FaultSpecError, ReproError
 
 
 def build_parser():
@@ -46,6 +68,9 @@ def build_parser():
                           help="never produce on zero-trip paths (§4.1)")
     annotate.add_argument("--conservative-jumps", action="store_true",
                           help="§5.3 blocking for AFTER problems with jumps")
+    annotate.add_argument("--hardened", action="store_true",
+                          help="self-checking pipeline: validate the "
+                               "placement and degrade instead of failing")
 
     graph = commands.add_parser("graph", help="show the interval flow graph")
     graph.add_argument("file")
@@ -61,6 +86,16 @@ def build_parser():
                      default="always", help="opaque condition policy")
     sim.add_argument("--naive", action="store_true",
                      help="use the per-element baseline placement")
+    sim.add_argument("--hardened", action="store_true",
+                     help="place communication with the self-checking, "
+                          "gracefully degrading pipeline")
+    sim.add_argument("--faults", metavar="SPEC",
+                     help="inject seeded faults, e.g. "
+                          "'drop=0.2,dup=0.1,jitter=50,crash=0.05,seed=7'")
+    sim.add_argument("--retries", type=int, default=6,
+                     help="retransmissions before a lost message is fatal")
+    sim.add_argument("--timeout", type=float, default=400.0,
+                     help="initial retransmit timeout (doubles per retry)")
 
     pre = commands.add_parser("pre", help="compare PRE placements")
     pre.add_argument("file")
@@ -81,6 +116,13 @@ def read_source(path):
 
 
 def command_annotate(args, out):
+    if args.hardened:
+        pipeline = HardenedPipeline(owner_computes=args.owner_computes,
+                                    split_messages=not args.atomic)
+        hardened = pipeline.run(read_source(args.file))
+        out.write(hardened.annotated_source())
+        out.write(f"! {hardened.report.summary()}\n")
+        return
     result = generate_communication(
         read_source(args.file),
         owner_computes=args.owner_computes,
@@ -112,13 +154,25 @@ def command_graph(args, out):
 
 def command_simulate(args, out):
     source = read_source(args.file)
-    if args.naive:
+    report = None
+    if args.hardened:
+        hardened = HardenedPipeline().run(source)
+        result, report = hardened.result, hardened.report
+    elif args.naive:
         result = naive_communication(source)
     else:
         result = generate_communication(source)
+    faults = FaultPlan.parse(args.faults) if args.faults else None
+    try:
+        retry = RetryPolicy(max_retries=args.retries, timeout=args.timeout)
+    except ValueError as exc:
+        raise FaultSpecError(str(exc)) from exc
     machine = MachineModel(latency=args.latency, message_overhead=args.overhead)
     metrics = simulate(result.annotated_program, machine, {"n": args.n},
-                       ConditionPolicy(args.branch))
+                       ConditionPolicy(args.branch), faults=faults,
+                       retry=retry)
+    if report is not None:
+        out.write(report.summary() + "\n")
     out.write(metrics.summary() + "\n")
 
 
@@ -182,8 +236,10 @@ def main(argv=None, out=None):
     try:
         COMMANDS[args.command](args, out)
     except (ReproError, OSError) as error:
+        # one-line message, no traceback, exit status 2 (argparse's own
+        # usage errors use the same status)
         print(f"error: {error}", file=sys.stderr)
-        return 1
+        return 2
     return 0
 
 

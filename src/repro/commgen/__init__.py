@@ -11,13 +11,25 @@ latency-hiding communication:
 * non-owned definitions produce the data they define "for free" for the
   READ problem (no owner round-trip), without disturbing balance.
 
-Entry point: :func:`repro.commgen.pipeline.generate_communication`.
+Entry points: :func:`repro.commgen.pipeline.generate_communication`
+(raises on anything irregular) and
+:class:`repro.commgen.hardened.HardenedPipeline` (self-checking, runs
+under resource budgets, degrades down a ladder instead of raising — see
+``docs/robustness.md``).
 """
 
 from repro.commgen.problems import build_read_problem, build_write_problem
 from repro.commgen.annotate import Annotator
 from repro.commgen.pipeline import CommunicationResult, generate_communication
 from repro.commgen.naive import naive_communication
+from repro.commgen.hardened import (
+    DegradationReport,
+    HardenedPipeline,
+    HardenedResult,
+    ResourceBudget,
+    RungAttempt,
+    harden_communication,
+)
 
 __all__ = [
     "build_read_problem",
@@ -26,4 +38,10 @@ __all__ = [
     "CommunicationResult",
     "generate_communication",
     "naive_communication",
+    "DegradationReport",
+    "HardenedPipeline",
+    "HardenedResult",
+    "ResourceBudget",
+    "RungAttempt",
+    "harden_communication",
 ]

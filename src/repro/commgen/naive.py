@@ -29,10 +29,16 @@ class NaiveResult:
         return format_program(self.analyzed.program)
 
 
-def naive_communication(source, owner_computes=False):
-    """Annotate ``source`` with per-reference element communication."""
+def naive_communication(source, owner_computes=False, split_irreducible=False,
+                        max_splits=None):
+    """Annotate ``source`` with per-reference element communication.
+
+    ``split_irreducible`` repairs irreducible control flow by node
+    splitting instead of raising (the hardened pipeline's last rung must
+    accept everything the upper rungs accepted)."""
     program = parse(source) if isinstance(source, str) else source
-    analyzed = AnalyzedProgram(program)
+    analyzed = AnalyzedProgram(program, split_irreducible=split_irreducible,
+                               max_splits=max_splits)
     symbols = SymbolTable.from_program(program)
     ownership = OwnershipModel(symbols, owner_computes=owner_computes)
     accesses, _ = collect_accesses(analyzed, symbols)

@@ -50,7 +50,9 @@ class CommunicationResult:
 
 def generate_communication(source, owner_computes=False, split_messages=True,
                            postpass=True, hoist_zero_trip=True,
-                           after_jumps="optimistic", refine_sections=True):
+                           after_jumps="optimistic", refine_sections=True,
+                           split_irreducible=False, max_splits=None,
+                           check_paths=150, solver_rounds=None):
     """Compile ``source`` (mini-Fortran text or a parsed Program) into an
     annotated program with balanced READ/WRITE placement.
 
@@ -72,10 +74,18 @@ def generate_communication(source, owner_computes=False, split_messages=True,
       of loops for AFTER problems" the paper lists as an extension (§6);
     * ``refine_sections`` — prove symbolic disjointness of sections when
       computing steals (the §6 dependence-analysis refinement); disable
-      for the fully conservative instance.
+      for the fully conservative instance;
+    * ``split_irreducible`` — repair irreducible control flow by node
+      splitting (§3.3, [CM69]) instead of raising
+      :class:`~repro.util.errors.IrreducibleGraphError`;
+    * ``check_paths`` — path-enumeration cap for the optimistic-mode
+      certification checker;
+    * ``solver_rounds`` — iteration guard on the solver's backward
+      consumption fixpoint (see :func:`repro.core.solver.solve`).
     """
     program = parse(source) if isinstance(source, str) else source
-    analyzed = AnalyzedProgram(program)
+    analyzed = AnalyzedProgram(program, split_irreducible=split_irreducible,
+                               max_splits=max_splits)
     symbols = SymbolTable.from_program(program)
     ownership = OwnershipModel(symbols, owner_computes=owner_computes)
     accesses, _ = collect_accesses(analyzed, symbols)
@@ -83,7 +93,7 @@ def generate_communication(source, owner_computes=False, split_messages=True,
     read_problem = build_read_problem(accesses, ownership,
                                       refine=refine_sections)
     read_problem.hoist_zero_trip = hoist_zero_trip
-    read_solution = solve(analyzed.ifg, read_problem)
+    read_solution = solve(analyzed.ifg, read_problem, max_rounds=solver_rounds)
     read_placement = Placement(analyzed.ifg, read_problem, read_solution)
 
     if postpass:
@@ -94,7 +104,7 @@ def generate_communication(source, owner_computes=False, split_messages=True,
                                         refine=refine_sections)
     write_problem.hoist_zero_trip = hoist_zero_trip
     write_solution, write_placement = _solve_write(
-        analyzed, write_problem, after_jumps)
+        analyzed, write_problem, after_jumps, check_paths, solver_rounds)
 
     if postpass:
         shift_synthetic_productions(write_placement)
@@ -113,7 +123,8 @@ def generate_communication(source, owner_computes=False, split_messages=True,
     )
 
 
-def _solve_write(analyzed, write_problem, after_jumps):
+def _solve_write(analyzed, write_problem, after_jumps, check_paths=150,
+                 solver_rounds=None):
     """Solve the AFTER problem per the requested jump treatment."""
     from repro.core.checker import check_placement
     from repro.graph.views import BackwardView
@@ -121,15 +132,17 @@ def _solve_write(analyzed, write_problem, after_jumps):
     has_jumps = bool(analyzed.ifg.jump_edges())
     if after_jumps == "optimistic" and has_jumps and write_problem.annotated_nodes():
         view = BackwardView(analyzed.ifg, blocked=False)
-        solution = solve(analyzed.ifg, write_problem, view=view)
+        solution = solve(analyzed.ifg, write_problem, view=view,
+                         max_rounds=solver_rounds)
         placement = Placement(analyzed.ifg, write_problem, solution)
         balanced = not check_placement(
-            analyzed.ifg, write_problem, placement, max_paths=150
+            analyzed.ifg, write_problem, placement, max_paths=check_paths
         ).by_kind("balance")
         sufficient = check_placement(
-            analyzed.ifg, write_problem, placement, max_paths=150, min_trips=1
+            analyzed.ifg, write_problem, placement, max_paths=check_paths,
+            min_trips=1
         ).ok(ignore=("safety", "redundant"))
         if balanced and sufficient:
             return solution, placement
-    solution = solve(analyzed.ifg, write_problem)
+    solution = solve(analyzed.ifg, write_problem, max_rounds=solver_rounds)
     return solution, Placement(analyzed.ifg, write_problem, solution)

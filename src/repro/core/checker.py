@@ -51,11 +51,17 @@ class Violation:
 
 
 class CheckReport:
-    """All violations found over all checked paths."""
+    """All violations found over all checked paths.
 
-    def __init__(self, violations, paths_checked):
+    ``truncated`` records that path enumeration hit its cap, i.e. the
+    verdict covers a prefix of the path space rather than all of it —
+    callers that certify placements (the hardened pipeline) surface it.
+    """
+
+    def __init__(self, violations, paths_checked, truncated=False):
         self.violations = violations
         self.paths_checked = paths_checked
+        self.truncated = truncated
 
     def by_kind(self, kind):
         return [v for v in self.violations if v.kind == kind]
@@ -71,13 +77,15 @@ class CheckReport:
         return not [v for v in self.violations if v.kind not in ignore]
 
     def summary(self):
+        suffix = ", truncated" if self.truncated else ""
         if not self.violations:
-            return f"OK ({self.paths_checked} paths)"
+            return f"OK ({self.paths_checked} paths{suffix})"
         kinds = {}
         for violation in self.violations:
             kinds[violation.kind] = kinds.get(violation.kind, 0) + 1
         detail = ", ".join(f"{k}={n}" for k, n in sorted(kinds.items()))
-        return f"{len(self.violations)} violations ({detail}) over {self.paths_checked} paths"
+        return (f"{len(self.violations)} violations ({detail}) over "
+                f"{self.paths_checked} paths{suffix}")
 
     def __str__(self):
         lines = [self.summary()]
@@ -101,7 +109,7 @@ def check_placement(ifg, problem, placement, max_paths=200, max_node_visits=3,
     violations = []
     for index, path in enumerate(paths):
         violations.extend(_replay(ifg, problem, placement, path, index))
-    return CheckReport(violations, len(paths))
+    return CheckReport(violations, len(paths), truncated=len(paths) >= max_paths)
 
 
 # ---------------------------------------------------------------------------

@@ -24,15 +24,22 @@ from repro.core import equations as eq
 from repro.core.problem import Direction, Timing
 from repro.core.solution import Solution
 from repro.graph.views import BackwardView, ForwardView
-from repro.util.errors import SolverError
+from repro.util.errors import SolverBudgetError, SolverError
 
 
 class GiveNTakeSolver:
-    """Stateful solver; :func:`solve` is the usual entry point."""
+    """Stateful solver; :func:`solve` is the usual entry point.
 
-    def __init__(self, view, problem):
+    ``max_rounds`` is an optional iteration guard on the backward
+    consumption fixpoint: when set, a solve that would need more
+    consumption sweeps raises :class:`SolverBudgetError` instead of
+    running unbounded (the hardened pipeline catches it and degrades).
+    """
+
+    def __init__(self, view, problem, max_rounds=None):
         self.view = view
         self.problem = problem
+        self.max_rounds = max_rounds
         problem.validate_against(view)
         self.solution = Solution(problem, view)
 
@@ -42,13 +49,22 @@ class GiveNTakeSolver:
             # Backward views with jumps: repeat until the fixpoint (at
             # most one extra round per crossed nesting level, see
             # BackwardView.requires_consumption_iteration).
-            max_rounds = max(
+            natural = max(
                 (self.view.ifg.level(m) for m, _ in self.view.ifg.jump_edges()),
                 default=0,
             ) + 1
-            for _ in range(max_rounds):
+            budget = natural if self.max_rounds is None else self.max_rounds
+            converged = False
+            for _ in range(budget):
                 if not self._sweep_consumption():
+                    converged = True
                     break
+            if (self.max_rounds is not None and not converged
+                    and self._sweep_consumption()):
+                raise SolverBudgetError(
+                    f"consumption fixpoint not reached within "
+                    f"{budget} rounds (natural bound {natural})"
+                )
         for timing in Timing:
             self._sweep_production(timing)
             self._sweep_results(timing)
@@ -116,12 +132,14 @@ def make_view(ifg, direction):
     raise SolverError(f"unknown direction {direction!r}")
 
 
-def solve(ifg, problem, view=None):
+def solve(ifg, problem, view=None, max_rounds=None):
     """Solve ``problem`` on interval flow graph ``ifg``.
 
     Returns the :class:`~repro.core.solution.Solution` holding all
     dataflow variables, including the EAGER and LAZY result variables.
+    ``max_rounds`` caps the backward consumption iteration (see
+    :class:`GiveNTakeSolver`); the default is the natural bound.
     """
     if view is None:
         view = make_view(ifg, problem.direction)
-    return GiveNTakeSolver(view, problem).run()
+    return GiveNTakeSolver(view, problem, max_rounds=max_rounds).run()

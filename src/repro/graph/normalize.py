@@ -30,18 +30,20 @@ from repro.graph.intervals import (
 from repro.util.errors import GraphError
 
 
-def normalize(cfg, split_irreducible=False):
+def normalize(cfg, split_irreducible=False, max_splits=None):
     """Normalize ``cfg`` in place and return it.
 
     With ``split_irreducible=True``, irreducible control flow (jumps
     into loops) is repaired by node splitting ([CM69], §3.3) instead of
-    rejected.
+    rejected; ``max_splits`` bounds the duplication budget and the
+    (original, copy) pairs are recorded on ``cfg.splits``.
     """
     prune_unreachable(cfg)
+    cfg.splits = []
     if split_irreducible:
         from repro.graph.splitting import make_reducible
 
-        make_reducible(cfg)
+        cfg.splits = make_reducible(cfg, max_splits=max_splits)
     check_reducible(cfg)
     ensure_unique_latch(cfg)
     ensure_unique_body_entry(cfg)

@@ -12,17 +12,26 @@ quantities (see DESIGN.md, substitutions).
 * :class:`repro.machine.executor.Simulator` — executes an annotated
   program under concrete bindings, pairing sends with receives;
 * :class:`repro.machine.metrics.ExecutionMetrics` — messages, volume,
-  work, exposed vs. hidden latency, total time.
+  work, exposed vs. hidden latency, total time;
+* :class:`repro.machine.faults.FaultPlan` — seeded fault injection
+  (drop/duplicate/jitter/crash) recovered by the
+  :class:`repro.machine.model.RetryPolicy` timeout-and-backoff protocol
+  (see ``docs/robustness.md``).
 """
 
-from repro.machine.model import MachineModel
+from repro.machine.model import MachineModel, RetryPolicy
 from repro.machine.executor import Simulator, ConditionPolicy, simulate
+from repro.machine.faults import FaultDecision, FaultPlan, FaultState
 from repro.machine.metrics import ExecutionMetrics
 
 __all__ = [
     "MachineModel",
+    "RetryPolicy",
     "Simulator",
     "ConditionPolicy",
     "simulate",
+    "FaultDecision",
+    "FaultPlan",
+    "FaultState",
     "ExecutionMetrics",
 ]

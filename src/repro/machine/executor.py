@@ -10,6 +10,13 @@ phase) exposes its full transfer time.
 
 Branch conditions that cannot be evaluated arithmetically (``test``,
 ``test(i)``) are resolved by a :class:`ConditionPolicy`.
+
+With a :class:`~repro.machine.faults.FaultPlan`, each transmission rolls
+for loss, duplication, delay jitter, and node crashes; lost messages are
+recovered by the :class:`~repro.machine.model.RetryPolicy`'s
+timeout-and-exponential-backoff protocol, and the retries, timeouts, and
+waiting time are reported in :class:`ExecutionMetrics` (see
+``docs/robustness.md``).
 """
 
 import random
@@ -17,8 +24,8 @@ import random
 from repro.lang import ast
 from repro.lang.parser import parse as parse_program
 from repro.machine.metrics import ExecutionMetrics
-from repro.machine.model import MachineModel
-from repro.util.errors import AnalysisError
+from repro.machine.model import MachineModel, RetryPolicy
+from repro.util.errors import AnalysisError, CommunicationTimeoutError
 
 
 class ConditionPolicy:
@@ -51,15 +58,18 @@ class _Jump(Exception):
 class Simulator:
     """Executes one program under one machine model."""
 
-    def __init__(self, program, machine=None, bindings=None, policy=None):
+    def __init__(self, program, machine=None, bindings=None, policy=None,
+                 faults=None, retry=None):
         if isinstance(program, str):
             program = parse_program(program)
         self.program = program
         self.machine = machine if machine is not None else MachineModel()
         self.env = dict(bindings or {})
         self.policy = policy if policy is not None else ConditionPolicy()
+        self.retry = retry if retry is not None else RetryPolicy()
         self.metrics = ExecutionMetrics()
         self.clock = 0.0
+        self._faults = faults.start() if faults is not None else None
         self._outstanding = []  # (kind, arrays, ready_time, volume)
         self._load_parameters()
 
@@ -167,11 +177,10 @@ class Simulator:
         self.clock += overhead
         self.metrics.overhead_time += overhead
         self.metrics.record_message(kind, volume)
-        transfer = self.machine.transfer_time(volume)
         # all sections of one message share its wire time; the
         # exposed/hidden accounting happens once per message
-        message = {"ready": self.clock + transfer, "transfer": transfer,
-                   "accounted": False}
+        message = {"kind": kind, "volume": volume, "accounted": False}
+        self._transmit(message)
         for arg in args:
             self._outstanding.append({
                 "kind": kind,
@@ -179,6 +188,54 @@ class Simulator:
                 "array": arg.split("(", 1)[0],
                 "message": message,
             })
+
+    def _transmit(self, message):
+        """One wire attempt for ``message``, rolling the fault plan."""
+        transfer = self.machine.transfer_time(message["volume"])
+        dropped = False
+        if self._faults is not None:
+            decision = self._faults.roll(self.clock)
+            if decision.crashed:
+                self.metrics.crashes += 1
+            if decision.delay:
+                transfer += decision.delay
+                self.metrics.fault_delay += decision.delay
+            dropped = decision.dropped
+            if dropped:
+                self.metrics.dropped_messages += 1
+            elif decision.duplicated:
+                # the receiver discards the second copy: count it, no
+                # effect on pairing or timing
+                self.metrics.duplicated_messages += 1
+        message.update(issued_at=self.clock, transfer=transfer,
+                       ready=self.clock + transfer, dropped=dropped)
+
+    def _await_delivery(self, message):
+        """Retry ``message`` until a transmission survives the fault
+        plan (timeout → exponential backoff → retransmit, paying the
+        message overhead again), or the retry budget is exhausted."""
+        attempts = 0
+        timeout = self.retry.timeout
+        while message["dropped"]:
+            deadline = message["issued_at"] + timeout
+            wait = max(0.0, deadline - self.clock)
+            self.clock += wait
+            self.metrics.timeouts += 1
+            self.metrics.timeout_wait += wait
+            self.metrics.exposed_latency += wait
+            attempts += 1
+            if attempts > self.retry.max_retries:
+                raise CommunicationTimeoutError(
+                    f"{message['kind']} message of {message['volume']:.0f} "
+                    f"elements still lost after {self.retry.max_retries} "
+                    f"retries"
+                )
+            self.metrics.retries += 1
+            overhead = self.machine.message_overhead
+            self.clock += overhead
+            self.metrics.overhead_time += overhead
+            self._transmit(message)
+            timeout *= self.retry.backoff
 
     def _complete(self, kind, args):
         """Wait for the outstanding sections named by ``args``.
@@ -199,6 +256,7 @@ class Simulator:
             )
         for entry in matched:
             message = entry["message"]
+            self._await_delivery(message)
             exposed = max(0.0, message["ready"] - self.clock)
             self.clock += exposed
             if not message["accounted"]:
@@ -285,6 +343,12 @@ def _innermost_range(expr):
     return None
 
 
-def simulate(program, machine=None, bindings=None, policy=None):
-    """Convenience wrapper: run ``program`` and return its metrics."""
-    return Simulator(program, machine, bindings, policy).run()
+def simulate(program, machine=None, bindings=None, policy=None, faults=None,
+             retry=None):
+    """Convenience wrapper: run ``program`` and return its metrics.
+
+    ``faults`` is an optional :class:`~repro.machine.faults.FaultPlan`;
+    ``retry`` the :class:`~repro.machine.model.RetryPolicy` governing
+    recovery from injected losses (defaults apply when omitted).
+    """
+    return Simulator(program, machine, bindings, policy, faults, retry).run()

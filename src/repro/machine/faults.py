@@ -1,0 +1,133 @@
+"""Seeded fault injection for the machine simulator.
+
+A :class:`FaultPlan` is a frozen, seeded description of how unreliable
+the simulated machine is.  Per issued message the plan rolls (in a fixed
+order, so runs are reproducible):
+
+* **crash** — with ``crash_probability`` the owning node goes down for
+  ``crash_duration`` clock units; every message issued while a crash
+  window is open is lost;
+* **drop** — with ``drop_probability`` the message is lost in transit
+  (the send completes locally, nothing ever arrives);
+* **duplication** — with ``duplicate_probability`` the message is
+  delivered twice; the receiver discards the second copy, so
+  duplication costs wire traffic but never corrupts pairing;
+* **delay jitter** — a uniform extra wire delay in
+  ``[0, delay_jitter]`` is added to the transfer time.
+
+The plan itself is immutable configuration; :meth:`FaultPlan.start`
+returns the mutable per-run :class:`FaultState` holding the RNG and the
+crash window, so one plan can drive many independent, identical runs
+(same seed → same faults → same metrics).
+"""
+
+from dataclasses import dataclass, field
+
+import random
+
+from repro.util.errors import FaultSpecError
+
+
+@dataclass(frozen=True)
+class FaultDecision:
+    """What the plan decided for one transmission attempt."""
+
+    dropped: bool = False
+    duplicated: bool = False
+    delay: float = 0.0
+    crashed: bool = False  # a new crash window opened at this roll
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """Seeded fault configuration (see module docstring)."""
+
+    seed: int = 0
+    drop_probability: float = 0.0
+    duplicate_probability: float = 0.0
+    delay_jitter: float = 0.0
+    crash_probability: float = 0.0
+    crash_duration: float = 200.0
+
+    #: spec keys accepted by :meth:`parse`, mapped to field names
+    SPEC_KEYS = {
+        "seed": "seed",
+        "drop": "drop_probability",
+        "dup": "duplicate_probability",
+        "jitter": "delay_jitter",
+        "crash": "crash_probability",
+        "downtime": "crash_duration",
+    }
+
+    def __post_init__(self):
+        for name in ("drop_probability", "duplicate_probability",
+                     "crash_probability"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise FaultSpecError(f"{name} must be in [0, 1], got {value}")
+        if self.delay_jitter < 0 or self.crash_duration < 0:
+            raise FaultSpecError("delay_jitter and crash_duration must be >= 0")
+
+    @classmethod
+    def parse(cls, spec):
+        """Build a plan from a CLI spec like ``"drop=0.2,jitter=50,seed=7"``.
+
+        Accepted keys: ``drop``, ``dup``, ``jitter``, ``crash``,
+        ``downtime``, ``seed``.  Raises :class:`FaultSpecError` on
+        unknown keys or malformed values.
+        """
+        values = {}
+        for part in filter(None, (p.strip() for p in spec.split(","))):
+            key, sep, raw = part.partition("=")
+            key = key.strip()
+            if not sep or key not in cls.SPEC_KEYS:
+                known = ", ".join(sorted(cls.SPEC_KEYS))
+                raise FaultSpecError(
+                    f"bad fault spec item {part!r} (known keys: {known})")
+            try:
+                number = int(raw) if key == "seed" else float(raw)
+            except ValueError:
+                raise FaultSpecError(
+                    f"bad fault spec value {raw!r} for {key!r}") from None
+            values[cls.SPEC_KEYS[key]] = number
+        return cls(**values)
+
+    @property
+    def active(self):
+        """Whether this plan can inject anything at all."""
+        return bool(self.drop_probability or self.duplicate_probability
+                    or self.delay_jitter or self.crash_probability)
+
+    def start(self):
+        """A fresh per-run :class:`FaultState` (deterministic per seed)."""
+        return FaultState(self)
+
+
+@dataclass
+class FaultState:
+    """Mutable per-run fault injection state."""
+
+    plan: FaultPlan
+    crash_until: float = 0.0
+    _rng: random.Random = field(init=False, repr=False)
+
+    def __post_init__(self):
+        self._rng = random.Random(self.plan.seed)
+
+    def roll(self, clock):
+        """Decide the fate of one message issued at time ``clock``."""
+        plan = self.plan
+        crashed = False
+        if (plan.crash_probability and clock >= self.crash_until
+                and self._rng.random() < plan.crash_probability):
+            self.crash_until = clock + plan.crash_duration
+            crashed = True
+        dropped = clock < self.crash_until
+        if not dropped and plan.drop_probability:
+            dropped = self._rng.random() < plan.drop_probability
+        duplicated = False
+        if not dropped and plan.duplicate_probability:
+            duplicated = self._rng.random() < plan.duplicate_probability
+        delay = self._rng.uniform(0.0, plan.delay_jitter) if plan.delay_jitter else 0.0
+        return FaultDecision(dropped=dropped, duplicated=duplicated,
+                             delay=delay, crashed=crashed)

@@ -12,9 +12,21 @@ class ExecutionMetrics:
     * ``work_time`` — computation time;
     * ``overhead_time`` — per-message CPU overhead;
     * ``exposed_latency`` — transfer time the processor actually waited
-      for (a receive that arrived before its data);
+      for (a receive that arrived before its data); timeout waits on
+      lost messages count here too — they are pure stall;
     * ``hidden_latency`` — transfer time overlapped with computation;
     * ``total_time`` — work + overhead + exposed latency.
+
+    Fault-injection runs (a ``FaultPlan`` was given) additionally fill:
+
+    * ``retries`` — messages retransmitted after a timeout;
+    * ``timeouts`` — timeouts that fired (>= retries; the last timeout
+      of an exhausted receive has no matching retry);
+    * ``timeout_wait`` — the part of ``exposed_latency`` spent waiting
+      for timeouts to fire;
+    * ``dropped_messages`` / ``duplicated_messages`` / ``crashes`` —
+      injected fault counts;
+    * ``fault_delay`` — total jitter added to transfer times.
     """
 
     messages: int = 0
@@ -23,6 +35,13 @@ class ExecutionMetrics:
     overhead_time: float = 0.0
     exposed_latency: float = 0.0
     hidden_latency: float = 0.0
+    retries: int = 0
+    timeouts: int = 0
+    timeout_wait: float = 0.0
+    dropped_messages: int = 0
+    duplicated_messages: int = 0
+    crashes: int = 0
+    fault_delay: float = 0.0
     #: messages per communication kind ("read", "write", "prefetch", …)
     messages_by_kind: dict = field(default_factory=dict)
     volume_by_kind: dict = field(default_factory=dict)
@@ -47,10 +66,26 @@ class ExecutionMetrics:
             return float("inf")
         return other.total_time / self.total_time
 
+    @property
+    def faults_observed(self):
+        """Whether any fault-injection counter is nonzero."""
+        return bool(self.retries or self.timeouts or self.dropped_messages
+                    or self.duplicated_messages or self.crashes
+                    or self.fault_delay)
+
     def summary(self):
-        return (
+        text = (
             f"messages={self.messages} volume={self.volume:.0f} "
             f"work={self.work_time:.0f} overhead={self.overhead_time:.0f} "
             f"exposed={self.exposed_latency:.0f} hidden={self.hidden_latency:.0f} "
             f"total={self.total_time:.0f}"
         )
+        if self.faults_observed:
+            text += (
+                f" retries={self.retries} timeouts={self.timeouts} "
+                f"dropped={self.dropped_messages} "
+                f"duplicated={self.duplicated_messages} "
+                f"crashes={self.crashes} "
+                f"timeout_wait={self.timeout_wait:.0f}"
+            )
+        return text

@@ -26,3 +26,28 @@ class MachineModel:
     def transfer_time(self, elements):
         """Wire time of one message carrying ``elements`` elements."""
         return self.latency + self.time_per_element * elements
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Retry-with-timeout protocol for lossy runs (``FaultPlan``).
+
+    A receive whose message was lost waits until ``timeout`` clock units
+    after the send was issued, then retransmits (paying the message
+    overhead again) with the timeout multiplied by ``backoff`` — classic
+    exponential backoff.  After ``max_retries`` retransmissions a still
+    lost message raises
+    :class:`~repro.util.errors.CommunicationTimeoutError`.
+    """
+
+    max_retries: int = 6
+    timeout: float = 400.0
+    backoff: float = 2.0
+
+    def __post_init__(self):
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be >= 0")
+        if self.timeout <= 0:
+            raise ValueError("timeout must be > 0")
+        if self.backoff < 1.0:
+            raise ValueError("backoff must be >= 1")

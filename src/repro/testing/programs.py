@@ -77,12 +77,14 @@ class AnalyzedProgram:
     paper-style preorder numbering.
 
     ``split_irreducible=True`` repairs jumps into loops by node
-    splitting instead of rejecting them (§3.3, [CM69])."""
+    splitting instead of rejecting them (§3.3, [CM69]);
+    ``max_splits`` bounds the duplication budget."""
 
-    def __init__(self, program, split_irreducible=False):
+    def __init__(self, program, split_irreducible=False, max_splits=None):
         self.program = program
         self.cfg = build_cfg(program)
-        normalize(self.cfg, split_irreducible=split_irreducible)
+        normalize(self.cfg, split_irreducible=split_irreducible,
+                  max_splits=max_splits)
         self.ifg = IntervalFlowGraph(self.cfg)
         self.numbering = preorder_numbering(self.ifg)
         self.by_number = {number: node for node, number in self.numbering.items()}

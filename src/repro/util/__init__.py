@@ -6,7 +6,11 @@ from repro.util.errors import (
     GraphError,
     IrreducibleGraphError,
     SolverError,
+    SolverBudgetError,
     AnalysisError,
+    ExecutionError,
+    CommunicationTimeoutError,
+    FaultSpecError,
 )
 from repro.util.orderedset import OrderedSet
 from repro.util.text import indent_block, format_set
@@ -17,7 +21,11 @@ __all__ = [
     "GraphError",
     "IrreducibleGraphError",
     "SolverError",
+    "SolverBudgetError",
     "AnalysisError",
+    "ExecutionError",
+    "CommunicationTimeoutError",
+    "FaultSpecError",
     "OrderedSet",
     "indent_block",
     "format_set",

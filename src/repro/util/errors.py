@@ -46,5 +46,25 @@ class SolverError(ReproError):
     variables referencing unknown nodes or universe elements)."""
 
 
+class SolverBudgetError(SolverError):
+    """Raised when the solver's consumption fixpoint does not converge
+    within an explicitly requested iteration budget (``max_rounds``)."""
+
+
 class AnalysisError(ReproError):
     """Raised by the reference/ownership analyses on unsupported input."""
+
+
+class ExecutionError(ReproError):
+    """Raised by the machine simulator when an annotated program cannot
+    be executed to completion."""
+
+
+class CommunicationTimeoutError(ExecutionError):
+    """Raised when a receive exhausts its retries: every (re)transmitted
+    message was lost by the fault plan within the retry budget."""
+
+
+class FaultSpecError(ReproError):
+    """Raised for malformed fault-plan specifications (bad keys, values
+    outside [0, 1], negative durations)."""

@@ -1,0 +1,148 @@
+"""Fault injection and the retry/backoff protocol."""
+
+import pytest
+
+from repro.machine import (
+    ConditionPolicy,
+    FaultPlan,
+    MachineModel,
+    RetryPolicy,
+    simulate,
+)
+from repro.lang import ast
+from repro.lang.parser import parse
+from repro.util.errors import CommunicationTimeoutError, FaultSpecError
+
+
+def send_recv_program():
+    """send x(1:n); some work; recv x(1:n)."""
+    program = parse("do i = 1, n\na = 1\nenddo\nu = 1\n")
+    program.body.insert(0, ast.Comm("read", "send", ["x(1:n)"]))
+    program.body.insert(2, ast.Comm("read", "recv", ["x(1:n)"]))
+    return program
+
+
+def run(faults=None, retry=None, n=8, machine=None):
+    return simulate(send_recv_program(), machine or MachineModel(),
+                    {"n": n}, ConditionPolicy("never"),
+                    faults=faults, retry=retry)
+
+
+def test_no_faults_is_the_old_behavior():
+    baseline = run()
+    assert baseline.retries == 0
+    assert baseline.timeouts == 0
+    assert not baseline.faults_observed
+    assert "retries" not in baseline.summary()
+
+
+def test_drop_then_recover():
+    # seed chosen so not every roll drops: eventually a send survives
+    metrics = run(FaultPlan(seed=1, drop_probability=0.5),
+                  RetryPolicy(max_retries=16, timeout=50.0))
+    assert metrics.dropped_messages == metrics.retries > 0 or \
+        metrics.dropped_messages == 0
+    assert metrics.timeouts == metrics.retries
+    assert metrics.timeout_wait <= metrics.exposed_latency
+
+
+def test_retries_exhausted_raises():
+    with pytest.raises(CommunicationTimeoutError):
+        run(FaultPlan(seed=0, drop_probability=1.0),
+            RetryPolicy(max_retries=2, timeout=50.0))
+
+
+def test_exponential_backoff_grows_the_wait():
+    # a recoverable run that needed a second retry waited longer than
+    # the initial timeout: the deadline doubled per attempt
+    recovered = run(FaultPlan(seed=3, drop_probability=0.7),
+                    RetryPolicy(max_retries=32, timeout=100.0))
+    assert recovered.retries >= 1
+    if recovered.retries >= 2:
+        assert recovered.timeout_wait > 100.0
+
+
+def test_duplicates_are_counted_and_harmless():
+    metrics = run(FaultPlan(seed=0, duplicate_probability=1.0))
+    assert metrics.duplicated_messages == metrics.messages > 0
+    assert metrics.retries == 0
+    assert metrics.total_time == run().total_time
+
+
+def test_delay_jitter_adds_wire_time():
+    plain = run()
+    jittered = run(FaultPlan(seed=0, delay_jitter=500.0))
+    assert jittered.fault_delay > 0
+    assert jittered.exposed_latency >= plain.exposed_latency
+
+
+def test_crash_window_drops_messages():
+    # a node that crashes on every roll never comes back: fatal
+    plan = FaultPlan(seed=0, crash_probability=1.0, crash_duration=10_000.0)
+    with pytest.raises(CommunicationTimeoutError):
+        run(plan, RetryPolicy(max_retries=2, timeout=50.0))
+    # intermittent crash with short downtime: a later retry succeeds
+    short = FaultPlan(seed=1, crash_probability=0.5, crash_duration=30.0)
+    metrics = run(short, RetryPolicy(max_retries=16, timeout=50.0))
+    assert metrics.crashes >= 1
+    assert metrics.retries >= 1
+
+
+def test_same_seed_same_metrics():
+    plan = FaultPlan(seed=7, drop_probability=0.4, duplicate_probability=0.2,
+                     delay_jitter=40.0, crash_probability=0.1,
+                     crash_duration=120.0)
+    retry = RetryPolicy(max_retries=16, timeout=80.0)
+    assert run(plan, retry) == run(plan, retry)
+
+
+def test_different_seed_different_faults():
+    a = run(FaultPlan(seed=1, delay_jitter=100.0))
+    b = run(FaultPlan(seed=2, delay_jitter=100.0))
+    assert a.fault_delay != b.fault_delay
+
+
+def test_atomic_communication_recovers_too():
+    program = parse("u = 1\n")
+    program.body.insert(0, ast.Comm("read", None, ["x(1:n)"]))
+    metrics = simulate(program, MachineModel(), {"n": 4},
+                       faults=FaultPlan(seed=1, drop_probability=0.5),
+                       retry=RetryPolicy(max_retries=16, timeout=50.0))
+    assert metrics.messages == 1
+
+
+def test_fault_spec_parsing():
+    plan = FaultPlan.parse("drop=0.2, dup=0.1, jitter=50, crash=0.05, "
+                           "downtime=100, seed=9")
+    assert plan.drop_probability == 0.2
+    assert plan.duplicate_probability == 0.1
+    assert plan.delay_jitter == 50.0
+    assert plan.crash_probability == 0.05
+    assert plan.crash_duration == 100.0
+    assert plan.seed == 9
+    assert plan.active
+
+
+def test_fault_spec_rejects_unknown_keys():
+    with pytest.raises(FaultSpecError):
+        FaultPlan.parse("lose=0.5")
+    with pytest.raises(FaultSpecError):
+        FaultPlan.parse("drop")
+    with pytest.raises(FaultSpecError):
+        FaultPlan.parse("drop=lots")
+
+
+def test_fault_plan_validates_probabilities():
+    with pytest.raises(FaultSpecError):
+        FaultPlan(drop_probability=1.5)
+    with pytest.raises(FaultSpecError):
+        FaultPlan(delay_jitter=-1.0)
+
+
+def test_retry_policy_validation():
+    with pytest.raises(ValueError):
+        RetryPolicy(max_retries=-1)
+    with pytest.raises(ValueError):
+        RetryPolicy(timeout=0.0)
+    with pytest.raises(ValueError):
+        RetryPolicy(backoff=0.5)
