@@ -6,7 +6,14 @@ other interval-based elimination methods have linear time complexity."
 
 We time the solve on random structured programs of growing size and
 assert that time per node stays bounded (quasi-linear growth), and we
-verify the each-equation-once property by counting equation evaluations.
+verify the each-equation-once property by counting equation evaluations
+two independent ways: monkeypatched equation functions (ground truth)
+and the ``repro.obs`` tracer (the instrumentation under test).  The
+timing runs execute *untraced* — they exercise, and therefore guard,
+the zero-cost disabled-collector path.
+
+``python -m repro.obs.bench`` measures the same ladder into
+``BENCH_solver.json`` (uploaded by CI; see docs/observability.md).
 """
 
 import time
@@ -16,6 +23,7 @@ import pytest
 from repro.core import Problem, solve
 from repro.core.solver import GiveNTakeSolver
 from repro.graph.views import ForwardView
+from repro.obs import tracing
 from repro.testing.generator import random_analyzed_program, random_problem
 
 SIZES = [40, 160, 640]
@@ -90,13 +98,14 @@ def test_bench_each_equation_evaluated_once(benchmark):
             originals[name], wrapper = wrap(name)
             setattr(equations_module, name, wrapper)
         try:
-            GiveNTakeSolver(view, problem).run()
+            with tracing() as collector:
+                GiveNTakeSolver(view, problem).run()
         finally:
             for name, function in originals.items():
                 setattr(equations_module, name, function)
-        return counters
+        return counters, collector.counters()["equation_evaluations"]
 
-    counters = benchmark(counted_solve)
+    counters, traced = benchmark(counted_solve)
     node_count = len(analyzed.ifg.nodes())  # ROOT included
     for name, count in counters.items():
         if name in ("eq9_give_loc", "eq10_steal_loc"):
@@ -107,3 +116,9 @@ def test_bench_each_equation_evaluated_once(benchmark):
             assert count == node_count * 2, (name, count)  # per timing
         else:
             assert count == node_count, (name, count)
+    # the obs tracer must report the exact same counts, keyed by the
+    # paper's equation numbers (cross-check of the instrumentation)
+    for name, count in counters.items():
+        number = int(name[2:].split("_", 1)[0])
+        assert traced[number] == count, (name, number, traced[number], count)
+    assert set(traced) == set(range(1, 16))

@@ -1,0 +1,10 @@
+real x(100)
+real y(100)
+distribute x(block)
+    a = 1
+    do k = 1, n
+        y(k) = x(k)
+    enddo
+    if test then
+        w = x(5)
+    endif

@@ -69,6 +69,14 @@ from repro.machine import (
     RetryPolicy,
     simulate,
 )
+from repro.obs import (
+    NullCollector,
+    TraceCollector,
+    current_collector,
+    profile_source,
+    stable_form,
+    tracing,
+)
 
 __version__ = "1.0.0"
 
@@ -105,5 +113,11 @@ __all__ = [
     "MachineModel",
     "RetryPolicy",
     "simulate",
+    "NullCollector",
+    "TraceCollector",
+    "current_collector",
+    "profile_source",
+    "stable_form",
+    "tracing",
     "__version__",
 ]

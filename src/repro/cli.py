@@ -4,20 +4,30 @@
 
     python -m repro annotate program.f [--atomic] [--owner-computes]
                                        [--no-hoist] [--conservative-jumps]
-                                       [--hardened]
+                                       [--hardened] [--trace]
+                                       [--trace-json PATH]
     python -m repro graph program.f [--dot]
     python -m repro simulate program.f [--n N] [--latency L] [--branch MODE]
                                        [--naive] [--overhead O] [--hardened]
                                        [--faults SPEC] [--retries N]
-                                       [--timeout T]
+                                       [--timeout T] [--trace]
+                                       [--trace-json PATH]
+    python -m repro profile program.f [--json] [--events] [--simulate]
+                                      [--n N] [--hardened]
     python -m repro pre program.f
 
 ``annotate`` prints the program with balanced READ/WRITE communication
 (the paper's Figure 14 output format); ``graph`` prints the interval
 flow graph (optionally as Graphviz dot); ``simulate`` runs the annotated
 program on the machine model and reports messages/volume/latency;
-``pre`` reports common-subexpression placement under GIVE-N-TAKE, Lazy
-Code Motion, and Morel-Renvoise.
+``profile`` runs the pipeline under the structured tracer and reports
+per-equation evaluation counts, sweep/fixpoint statistics, interval
+construction stats, and — with ``--simulate`` — the message timeline
+(``docs/observability.md``); ``pre`` reports common-subexpression
+placement under GIVE-N-TAKE, Lazy Code Motion, and Morel-Renvoise.
+``--trace`` on ``annotate``/``simulate`` appends the same human-readable
+trace summary; ``--trace-json PATH`` writes the full JSON trace (``-``
+for stdout).
 
 ``--hardened`` routes placement through the self-checking
 :class:`~repro.commgen.hardened.HardenedPipeline`; ``--faults`` injects
@@ -45,6 +55,13 @@ from repro.machine import (
     RetryPolicy,
     simulate,
 )
+from repro.obs import (
+    build_profile,
+    format_profile,
+    profile_source,
+    to_json,
+    tracing,
+)
 from repro.testing.programs import analyze_source
 from repro.util.errors import FaultSpecError, ReproError
 
@@ -71,6 +88,7 @@ def build_parser():
     annotate.add_argument("--hardened", action="store_true",
                           help="self-checking pipeline: validate the "
                                "placement and degrade instead of failing")
+    add_trace_arguments(annotate)
 
     graph = commands.add_parser("graph", help="show the interval flow graph")
     graph.add_argument("file")
@@ -96,6 +114,26 @@ def build_parser():
                      help="retransmissions before a lost message is fatal")
     sim.add_argument("--timeout", type=float, default=400.0,
                      help="initial retransmit timeout (doubles per retry)")
+    add_trace_arguments(sim)
+
+    profile = commands.add_parser(
+        "profile", help="trace the pipeline: equation counts, sweeps, "
+                        "graph stats (docs/observability.md)")
+    profile.add_argument("file")
+    profile.add_argument("--json", action="store_true",
+                         help="machine-readable trace payload instead of "
+                              "the human summary")
+    profile.add_argument("--events", action="store_true",
+                         help="include the full event stream in the "
+                              "human summary")
+    profile.add_argument("--simulate", action="store_true",
+                         help="also execute on the machine model and "
+                              "trace the message timeline")
+    profile.add_argument("--n", type=int, default=64,
+                         help="loop bound binding for --simulate")
+    profile.add_argument("--hardened", action="store_true",
+                         help="profile the self-checking pipeline "
+                              "(rung decisions, budget consumption)")
 
     pre = commands.add_parser("pre", help="compare PRE placements")
     pre.add_argument("file")
@@ -108,6 +146,15 @@ def build_parser():
     return parser
 
 
+def add_trace_arguments(parser):
+    parser.add_argument("--trace", action="store_true",
+                        help="append a human-readable trace summary "
+                             "(equation counts, sweeps, graph stats)")
+    parser.add_argument("--trace-json", metavar="PATH",
+                        help="write the full JSON trace to PATH "
+                             "('-' for stdout)")
+
+
 def read_source(path):
     if path == "-":
         return sys.stdin.read()
@@ -115,7 +162,30 @@ def read_source(path):
         return handle.read()
 
 
+def traced(args, out, body):
+    """Run ``body`` under tracing when ``--trace``/``--trace-json`` ask
+    for it, then emit the requested rendering after the normal output."""
+    if not (args.trace or args.trace_json):
+        body()
+        return
+    with tracing() as collector:
+        body()
+    payload = build_profile(collector)
+    if args.trace:
+        out.write(format_profile(payload))
+    if args.trace_json:
+        if args.trace_json == "-":
+            out.write(to_json(payload))
+        else:
+            with open(args.trace_json, "w") as handle:
+                handle.write(to_json(payload))
+
+
 def command_annotate(args, out):
+    traced(args, out, lambda: _annotate(args, out))
+
+
+def _annotate(args, out):
     if args.hardened:
         pipeline = HardenedPipeline(owner_computes=args.owner_computes,
                                     split_messages=not args.atomic)
@@ -153,6 +223,10 @@ def command_graph(args, out):
 
 
 def command_simulate(args, out):
+    traced(args, out, lambda: _simulate(args, out))
+
+
+def _simulate(args, out):
     source = read_source(args.file)
     report = None
     if args.hardened:
@@ -174,6 +248,20 @@ def command_simulate(args, out):
     if report is not None:
         out.write(report.summary() + "\n")
     out.write(metrics.summary() + "\n")
+
+
+def command_profile(args, out):
+    payload = profile_source(
+        read_source(args.file),
+        hardened=args.hardened,
+        run_simulation=args.simulate,
+        bindings={"n": args.n},
+        policy=ConditionPolicy("always"),
+    )
+    if args.json:
+        out.write(to_json(payload))
+    else:
+        out.write(format_profile(payload, events=args.events))
 
 
 def command_pre(args, out):
@@ -225,6 +313,7 @@ COMMANDS = {
     "annotate": command_annotate,
     "graph": command_graph,
     "simulate": command_simulate,
+    "profile": command_profile,
     "pre": command_pre,
     "explain": command_explain,
 }

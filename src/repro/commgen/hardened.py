@@ -31,6 +31,7 @@ from repro.commgen.naive import naive_communication
 from repro.commgen.pipeline import generate_communication
 from repro.core.checker import check_placement
 from repro.lang.printer import format_program
+from repro.obs.collector import current_collector
 from repro.util.errors import IrreducibleGraphError, ReproError
 
 #: ladder rungs, best first
@@ -170,17 +171,33 @@ class HardenedPipeline:
         program that has no flow graph."""
         # The annotator mutates the AST it is given, so every rung must
         # start from pristine text.
+        obs = current_collector()
         text = source if isinstance(source, str) else format_program(source)
         report = DegradationReport(rung=RUNGS[-1], reason=None)
 
         for rung in RUNGS:
             attempt, result = self._attempt(rung, text, report)
             report.attempts.append(attempt)
+            if obs.enabled:
+                obs.event("hardened", "rung_attempt", rung=attempt.rung,
+                          ok=attempt.ok, reason=attempt.reason,
+                          truncated=attempt.truncated,
+                          checks=dict(attempt.checks))
+                obs.count("hardened", "rung_attempts")
             if attempt.ok:
                 report.rung = rung
                 if rung != RUNGS[0]:
                     failed = report.attempts[0]
                     report.reason = f"{failed.rung} rejected: {failed.reason}"
+                if obs.enabled:
+                    obs.event("hardened", "result", rung=report.rung,
+                              degraded=report.degraded,
+                              reason=report.reason,
+                              split_irreducible=report.split_irreducible,
+                              splits=len(report.splits),
+                              truncated=report.truncated,
+                              budget_check_paths=self.budget.check_paths,
+                              budget_solver_rounds=self.budget.solver_rounds)
                 return HardenedResult(result, report)
         # Unreachable: the naive rung accepts whatever the frontend
         # accepted, and frontend errors were re-raised in _attempt.
@@ -247,6 +264,7 @@ class HardenedPipeline:
         if rung == "naive":
             attempt.checks["naive"] = "balanced by construction"
             return True
+        obs = current_collector()
         problems = (("read", result.read_problem, result.read_placement),
                     ("write", result.write_problem, result.write_placement))
         ok = True
@@ -266,6 +284,9 @@ class HardenedPipeline:
             attempt.checks[f"{name} C3"] = (
                 f"{len(c3)} violations ({sufficiency.paths_checked} paths)")
             attempt.truncated |= balance.truncated or sufficiency.truncated
+            if obs.enabled:
+                obs.count("hardened", "paths_checked",
+                          n=balance.paths_checked + sufficiency.paths_checked)
             if c1 or c3:
                 ok = False
                 first = (c1 + c3)[0]

@@ -12,6 +12,27 @@ variables.  All set values are bitsets.
 
 from repro.core.lattice import meet_over, union_over
 
+#: Paper equation number of the variable each equation defines — the key
+#: under which the solver's tracer counts evaluations (one entry per
+#: solution variable; see ``repro.obs``).
+EQUATION_NUMBERS = {
+    "STEAL": 1,
+    "GIVE": 2,
+    "BLOCK": 3,
+    "TAKEN_out": 4,
+    "TAKE": 5,
+    "TAKEN_in": 6,
+    "BLOCK_loc": 7,
+    "TAKE_loc": 8,
+    "GIVE_loc": 9,
+    "STEAL_loc": 10,
+    "GIVEN_in": 11,
+    "GIVEN": 12,
+    "GIVEN_out": 13,
+    "RES_in": 14,
+    "RES_out": 15,
+}
+
 # --------------------------------------------------------------------------
 # S1 — propagating consumption (Equations 1..8), evaluated in
 # REVERSEPREORDER (backward + upward).

@@ -17,6 +17,7 @@ from enum import Enum
 
 from repro.graph.cfg import Node, NodeKind
 from repro.graph.normalize import validate_normalized
+from repro.obs.collector import current_collector
 from repro.util.errors import GraphError
 
 
@@ -61,6 +62,22 @@ class IntervalFlowGraph:
             (src, dst) for (src, dst), t in self._types.items() if t is EdgeType.JUMP
         ]
         self._add_synthetic_edges()
+
+        obs = current_collector()
+        if obs.enabled:
+            edge_counts = {
+                edge_type.name: sum(
+                    len(self._succs[node][edge_type]) for node in self.nodes()
+                )
+                for edge_type in EdgeType
+            }
+            obs.event("graph", "interval_graph",
+                      nodes=len(cfg),
+                      headers=len(self.forest.headers()),
+                      max_level=max(self.level(n) for n in self.nodes()),
+                      jump_edges=len(self._jump_edges),
+                      edges=edge_counts)
+            obs.count("graph", "interval_graphs")
 
     # -- construction -------------------------------------------------------
 

@@ -27,6 +27,7 @@ from repro.graph.intervals import (
     dominates,
     find_back_edges,
 )
+from repro.obs.collector import current_collector
 from repro.util.errors import GraphError
 
 
@@ -37,18 +38,41 @@ def normalize(cfg, split_irreducible=False, max_splits=None):
     into loops) is repaired by node splitting ([CM69], §3.3) instead of
     rejected; ``max_splits`` bounds the duplication budget and the
     (original, copy) pairs are recorded on ``cfg.splits``.
+
+    An active tracing collector receives one ``graph/normalize`` event
+    with the per-pass node deltas (pruned, irreducible splits, latches,
+    body entries, critical-edge splits).
     """
-    prune_unreachable(cfg)
+    obs = current_collector()
+    removed = prune_unreachable(cfg)
     cfg.splits = []
     if split_irreducible:
         from repro.graph.splitting import make_reducible
 
         cfg.splits = make_reducible(cfg, max_splits=max_splits)
     check_reducible(cfg)
+    size = len(cfg)
     ensure_unique_latch(cfg)
+    latches_added = len(cfg) - size
+    size = len(cfg)
     ensure_unique_body_entry(cfg)
+    body_entries_added = len(cfg) - size
+    size = len(cfg)
     split_critical_edges(cfg)
+    critical_splits = len(cfg) - size
     validate_normalized(cfg)
+    if obs.enabled:
+        obs.event("graph", "normalize",
+                  pruned_unreachable=len(removed),
+                  irreducible_splits=len(cfg.splits),
+                  latches_added=latches_added,
+                  body_entries_added=body_entries_added,
+                  critical_edge_splits=critical_splits,
+                  nodes=len(cfg))
+        obs.count("graph", "normalize_runs")
+        obs.count("graph", "nodes_split",
+                  n=len(cfg.splits) + latches_added + body_entries_added
+                  + critical_splits)
     return cfg
 
 

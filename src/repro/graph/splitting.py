@@ -20,6 +20,7 @@ from repro.graph.intervals import (
     dominates,
     find_retreating_edges,
 )
+from repro.obs.collector import current_collector
 from repro.util.errors import GraphError
 
 
@@ -28,8 +29,11 @@ def make_reducible(cfg, max_splits=None):
     (original, copy) pairs created.
 
     ``max_splits`` bounds the number of duplications (default: four per
-    node); exceeding it raises :class:`GraphError`.
+    node); exceeding it raises :class:`GraphError`.  Each duplication is
+    reported to an active tracing collector as a ``graph/node_split``
+    event.
     """
+    obs = current_collector()
     if max_splits is None:
         max_splits = 4 * len(cfg)
     splits = []
@@ -42,7 +46,12 @@ def make_reducible(cfg, max_splits=None):
                 f"node splitting exceeded the budget of {max_splits} copies"
             )
         source, target = offending[0]
-        splits.append((target, _peel(cfg, source, target)))
+        copy = _peel(cfg, source, target)
+        splits.append((target, copy))
+        if obs.enabled:
+            obs.event("graph", "node_split", original=target.name,
+                      copy=copy.name, budget=max_splits,
+                      used=len(splits))
 
 
 def _improper_entries(cfg):

@@ -25,6 +25,7 @@ from repro.lang import ast
 from repro.lang.parser import parse as parse_program
 from repro.machine.metrics import ExecutionMetrics
 from repro.machine.model import MachineModel, RetryPolicy
+from repro.obs.collector import current_collector
 from repro.util.errors import AnalysisError, CommunicationTimeoutError
 
 
@@ -71,6 +72,8 @@ class Simulator:
         self.clock = 0.0
         self._faults = faults.start() if faults is not None else None
         self._outstanding = []  # (kind, arrays, ready_time, volume)
+        self._obs = current_collector()
+        self._message_sequence = 0
         self._load_parameters()
 
     def _load_parameters(self):
@@ -179,7 +182,14 @@ class Simulator:
         self.metrics.record_message(kind, volume)
         # all sections of one message share its wire time; the
         # exposed/hidden accounting happens once per message
-        message = {"kind": kind, "volume": volume, "accounted": False}
+        self._message_sequence += 1
+        message = {"kind": kind, "volume": volume, "accounted": False,
+                   "id": self._message_sequence}
+        if self._obs.enabled:
+            self._obs.event("machine", "send", message=message["id"],
+                            kind=kind, volume=volume, clock=self.clock,
+                            sections=len(args))
+            self._obs.count("machine", "send")
         self._transmit(message)
         for arg in args:
             self._outstanding.append({
@@ -192,28 +202,45 @@ class Simulator:
     def _transmit(self, message):
         """One wire attempt for ``message``, rolling the fault plan."""
         transfer = self.machine.transfer_time(message["volume"])
-        dropped = False
+        dropped = duplicated = crashed = False
+        delay = 0.0
         if self._faults is not None:
             decision = self._faults.roll(self.clock)
-            if decision.crashed:
+            crashed = decision.crashed
+            if crashed:
                 self.metrics.crashes += 1
             if decision.delay:
-                transfer += decision.delay
-                self.metrics.fault_delay += decision.delay
+                delay = decision.delay
+                transfer += delay
+                self.metrics.fault_delay += delay
             dropped = decision.dropped
             if dropped:
                 self.metrics.dropped_messages += 1
             elif decision.duplicated:
                 # the receiver discards the second copy: count it, no
                 # effect on pairing or timing
+                duplicated = True
                 self.metrics.duplicated_messages += 1
         message.update(issued_at=self.clock, transfer=transfer,
                        ready=self.clock + transfer, dropped=dropped)
+        obs = self._obs
+        if obs.enabled:
+            obs.event("machine", "transmit", message=message["id"],
+                      clock=self.clock, transfer=transfer,
+                      ready=message["ready"], dropped=dropped,
+                      duplicated=duplicated, crashed=crashed, jitter=delay)
+            if dropped:
+                obs.count("machine", "dropped")
+            if duplicated:
+                obs.count("machine", "duplicated")
+            if crashed:
+                obs.count("machine", "crashed")
 
     def _await_delivery(self, message):
         """Retry ``message`` until a transmission survives the fault
         plan (timeout → exponential backoff → retransmit, paying the
         message overhead again), or the retry budget is exhausted."""
+        obs = self._obs
         attempts = 0
         timeout = self.retry.timeout
         while message["dropped"]:
@@ -224,6 +251,10 @@ class Simulator:
             self.metrics.timeout_wait += wait
             self.metrics.exposed_latency += wait
             attempts += 1
+            if obs.enabled:
+                obs.event("machine", "timeout", message=message["id"],
+                          clock=self.clock, wait=wait, attempt=attempts)
+                obs.count("machine", "timeout")
             if attempts > self.retry.max_retries:
                 raise CommunicationTimeoutError(
                     f"{message['kind']} message of {message['volume']:.0f} "
@@ -231,6 +262,11 @@ class Simulator:
                     f"retries"
                 )
             self.metrics.retries += 1
+            if obs.enabled:
+                obs.event("machine", "retry", message=message["id"],
+                          clock=self.clock, attempt=attempts,
+                          next_timeout=timeout * self.retry.backoff)
+                obs.count("machine", "retry")
             overhead = self.machine.message_overhead
             self.clock += overhead
             self.metrics.overhead_time += overhead
@@ -263,6 +299,12 @@ class Simulator:
                 message["accounted"] = True
                 self.metrics.exposed_latency += exposed
                 self.metrics.hidden_latency += message["transfer"] - exposed
+                if self._obs.enabled:
+                    self._obs.event(
+                        "machine", "recv", message=message["id"], kind=kind,
+                        clock=self.clock, exposed=exposed,
+                        hidden=message["transfer"] - exposed)
+                    self._obs.count("machine", "recv")
 
     def _find_entry(self, kind, arg):
         array = arg.split("(", 1)[0]

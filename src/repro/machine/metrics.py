@@ -61,9 +61,13 @@ class ExecutionMetrics:
         return self.overhead_time + self.exposed_latency
 
     def speedup_over(self, other):
-        """How much faster this run is than ``other`` (>1 is better)."""
+        """How much faster this run is than ``other`` (>1 is better).
+
+        Two zero-cost runs are equally fast — 0/0 compares as 1.0, not
+        infinity; only a zero-cost run against a costly one is
+        infinitely faster."""
         if self.total_time == 0:
-            return float("inf")
+            return 1.0 if other.total_time == 0 else float("inf")
         return other.total_time / self.total_time
 
     @property

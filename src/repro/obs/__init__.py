@@ -1,0 +1,47 @@
+"""Structured tracing, counters, and profiling (``docs/observability.md``).
+
+The subsystem has three layers:
+
+* :mod:`repro.obs.collector` — the collector protocol: a zero-cost
+  :class:`NullCollector` default and a recording
+  :class:`TraceCollector`, activated with :func:`tracing`;
+* :mod:`repro.obs.trace` — JSON payloads, the deterministic
+  :func:`stable_form`, human rendering;
+* :mod:`repro.obs.profile` / :mod:`repro.obs.bench` — end-to-end
+  profiling (``repro profile``, ``--trace``) and the
+  ``BENCH_solver.json`` scaling artifact.
+"""
+
+from repro.obs.collector import (
+    NULL,
+    NullCollector,
+    TraceCollector,
+    current_collector,
+    set_collector,
+    tracing,
+)
+from repro.obs.profile import (
+    build_profile,
+    format_profile,
+    profile_source,
+    run_satisfies_each_equation_once,
+    summarize,
+)
+from repro.obs.trace import stable_form, to_json, trace_payload
+
+__all__ = [
+    "NULL",
+    "NullCollector",
+    "TraceCollector",
+    "current_collector",
+    "set_collector",
+    "tracing",
+    "build_profile",
+    "format_profile",
+    "profile_source",
+    "run_satisfies_each_equation_once",
+    "summarize",
+    "stable_form",
+    "to_json",
+    "trace_payload",
+]

@@ -1,0 +1,131 @@
+"""The machine-readable solver-scaling trajectory: ``BENCH_solver.json``.
+
+The paper's §5.2 complexity claim (every equation evaluated exactly once
+per node, O(E) total) is asserted by ``benchmarks/
+test_bench_scaling_linear.py``; this module *measures* it into an
+artifact CI uploads on every run, so future PRs have a trajectory to
+regress against::
+
+    python -m repro.obs.bench --output BENCH_solver.json --check
+
+For each size on the ladder it records the node count, the best
+wall-clock solve (instrumentation disabled — the production fast path),
+time per node, and — from one additional traced run — the per-equation
+evaluation counts, consumption-sweep count and fixpoint rounds.
+``--check`` exits nonzero when time per node grows beyond the same 4x
+tolerance the pytest benchmark enforces.
+
+Wall-clock fields end in ``_s``; everything else is deterministic.
+"""
+
+import argparse
+import json
+import sys
+import time
+
+from repro.core.solver import solve
+from repro.obs.collector import tracing
+from repro.obs.profile import run_satisfies_each_equation_once
+from repro.testing.generator import random_analyzed_program, random_problem
+
+SCHEMA = "repro-bench-solver/1"
+
+#: The size ladder — kept in sync with benchmarks/test_bench_scaling_linear.py.
+SIZES = (40, 160, 640)
+
+#: Allowed time-per-node growth between consecutive ladder steps (the
+#: pytest benchmark's tolerance; generous because small runs are noisy).
+TOLERANCE = 4.0
+
+
+def _build_instance(size, seed, n_elements):
+    analyzed = random_analyzed_program(seed, size=size, max_depth=3)
+    problem = random_problem(analyzed, seed=seed, n_elements=n_elements)
+    return analyzed, problem
+
+
+def solver_scaling(sizes=SIZES, seed=11, n_elements=8, repeats=3):
+    """Measure the ladder; return the ``BENCH_solver.json`` payload."""
+    rows = []
+    for size in sizes:
+        analyzed, problem = _build_instance(size, seed, n_elements)
+        nodes = len(analyzed.ifg.real_nodes())
+        best = float("inf")
+        for _ in range(repeats):
+            start = time.perf_counter()
+            solve(analyzed.ifg, problem)
+            best = min(best, time.perf_counter() - start)
+        with tracing() as collector:
+            solve(analyzed.ifg, problem)
+        run = collector.events("solver", "run")[-1]
+        rows.append({
+            "size": size,
+            "nodes": nodes,
+            "best_solve_s": best,
+            "time_per_node_s": best / nodes,
+            "consumption_sweeps": run["consumption_sweeps"],
+            "fixpoint_rounds": run["rounds"],
+            "converged": run["converged"],
+            "equation_evaluations": run["equation_evaluations"],
+            "each_equation_once": run_satisfies_each_equation_once(run),
+        })
+    ratios = [
+        larger["time_per_node_s"] / smaller["time_per_node_s"]
+        for smaller, larger in zip(rows, rows[1:])
+    ]
+    return {
+        "schema": SCHEMA,
+        "seed": seed,
+        "n_elements": n_elements,
+        "repeats": repeats,
+        "tolerance": TOLERANCE,
+        "rows": rows,
+        "per_node_growth_ratios_s": ratios,
+        "linear_within_tolerance": all(r < TOLERANCE for r in ratios),
+        "each_equation_once": all(row["each_equation_once"] for row in rows),
+    }
+
+
+def write_bench_json(path, report=None):
+    """Write (and return) the payload; ``report=None`` measures fresh."""
+    if report is None:
+        report = solver_scaling()
+    with open(path, "w") as handle:
+        json.dump(report, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return report
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs.bench",
+        description="measure the solver's O(E) trajectory into "
+                    "BENCH_solver.json")
+    parser.add_argument("--output", default="BENCH_solver.json",
+                        help="where to write the JSON payload")
+    parser.add_argument("--check", action="store_true",
+                        help="exit 1 when time per node grows beyond the "
+                             "tolerance or an equation count is off")
+    parser.add_argument("--sizes", type=int, nargs="+", default=list(SIZES))
+    parser.add_argument("--repeats", type=int, default=3)
+    args = parser.parse_args(argv)
+
+    report = solver_scaling(sizes=tuple(args.sizes), repeats=args.repeats)
+    write_bench_json(args.output, report)
+    for row in report["rows"]:
+        print(f"size={row['size']} nodes={row['nodes']} "
+              f"per_node={row['time_per_node_s'] * 1e6:.1f}us "
+              f"sweeps={row['consumption_sweeps']} "
+              f"each_equation_once={row['each_equation_once']}")
+    print(f"wrote {args.output} "
+          f"(linear_within_tolerance={report['linear_within_tolerance']})")
+    if args.check and not (report["linear_within_tolerance"]
+                           and report["each_equation_once"]):
+        print("error: solver scaling regressed beyond tolerance",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,144 @@
+"""The tracing collector protocol and its two implementations.
+
+Instrumented code (the solver, the graph passes, the hardened pipeline,
+the machine executor) reports to whatever collector is *active*:
+
+* :class:`NullCollector` — the default.  Every method is a no-op and
+  ``enabled`` is False, so hot paths guard their bookkeeping with a
+  single attribute test and pay nothing when tracing is off (verified
+  by the scaling benchmark, which runs untraced).
+* :class:`TraceCollector` — records a structured event stream plus
+  monotonic counters.  Event *content* is deterministic for a given
+  input; only fields whose name ends in ``_s`` carry wall-clock
+  durations (see :mod:`repro.obs.trace` for the stable form).
+
+The active collector is installed with :func:`tracing`::
+
+    with tracing() as collector:
+        solve(ifg, problem)
+    collector.counters()["equation_evaluations"]   # {1: 12, 2: 12, ...}
+
+Long-lived objects (a :class:`~repro.core.solver.GiveNTakeSolver`, a
+:class:`~repro.machine.executor.Simulator`) capture the collector active
+at construction time, so a trace scope must enclose the whole run.
+"""
+
+import time
+from contextlib import contextmanager
+
+#: Field-name suffix marking wall-clock values (nondeterministic).
+TIMING_SUFFIX = "_s"
+
+
+class NullCollector:
+    """The disabled collector: accepts everything, stores nothing."""
+
+    enabled = False
+
+    def event(self, category, name, **fields):
+        pass
+
+    def count(self, counter, key=None, n=1):
+        pass
+
+    def clock(self):
+        return 0.0
+
+    def events(self, category=None, name=None):
+        return []
+
+    def counters(self):
+        return {}
+
+
+#: The shared disabled collector (stateless, safe to reuse).
+NULL = NullCollector()
+
+_active = NULL
+
+
+class TraceCollector:
+    """Records structured events and counters.
+
+    * :meth:`event` appends one dict to the stream: ``category`` groups
+      a subsystem (``"solver"``, ``"graph"``, ``"hardened"``,
+      ``"machine"``), ``name`` the event kind, and the keyword fields
+      carry the payload.  Events keep insertion order.
+    * :meth:`count` bumps ``counters()[counter][key]`` — cheap aggregate
+      totals next to the full stream.
+    """
+
+    enabled = True
+
+    def __init__(self, clock=time.perf_counter):
+        self._events = []
+        self._counters = {}
+        self._clock = clock
+
+    def event(self, category, name, **fields):
+        record = {"category": category, "name": name}
+        record.update(fields)
+        self._events.append(record)
+
+    def count(self, counter, key=None, n=1):
+        bucket = self._counters.setdefault(counter, {})
+        bucket[key] = bucket.get(key, 0) + n
+
+    def clock(self):
+        """The wall clock used for ``*_s`` duration fields."""
+        return self._clock()
+
+    @contextmanager
+    def timer(self, category, name, **fields):
+        """Time a block; emits one event with a ``duration_s`` field."""
+        start = self._clock()
+        try:
+            yield
+        finally:
+            self.event(category, name, duration_s=self._clock() - start,
+                       **fields)
+
+    # -- reading -----------------------------------------------------------
+
+    def events(self, category=None, name=None):
+        """The event stream, optionally filtered."""
+        return [
+            event for event in self._events
+            if (category is None or event["category"] == category)
+            and (name is None or event["name"] == name)
+        ]
+
+    def counters(self):
+        """Counter totals as ``{counter: {key: n}}`` (a deep copy)."""
+        return {counter: dict(bucket)
+                for counter, bucket in self._counters.items()}
+
+
+def current_collector():
+    """The collector instrumented code should report to."""
+    return _active
+
+
+def set_collector(collector):
+    """Install ``collector`` (None restores the disabled default)."""
+    global _active
+    _active = collector if collector is not None else NULL
+
+
+@contextmanager
+def tracing(collector=None):
+    """Activate a collector for the duration of the block.
+
+    With no argument a fresh :class:`TraceCollector` is created (and
+    yielded); pass an explicit collector — including a
+    :class:`NullCollector` — to control what is recorded.  The previous
+    collector is restored on exit, so scopes nest.
+    """
+    if collector is None:
+        collector = TraceCollector()
+    previous = _active
+    set_collector(collector)
+    try:
+        yield collector
+    finally:
+        set_collector(previous)

@@ -1,0 +1,77 @@
+"""Trace serialization: JSON payloads, stable forms, human rendering.
+
+A *trace payload* is the JSON-ready dict built from one
+:class:`~repro.obs.collector.TraceCollector`::
+
+    {
+      "schema": "repro-trace/1",
+      "events":   [ {"category": ..., "name": ..., ...}, ... ],
+      "counters": { "equation_evaluations": {"1": 24, ...}, ... },
+    }
+
+All content is deterministic for a given input except fields whose name
+ends in ``_s`` (wall-clock durations); :func:`stable_form` strips those,
+so two traces of the same run compare equal with plain ``==``.
+"""
+
+import json
+
+from repro.obs.collector import TIMING_SUFFIX
+
+SCHEMA = "repro-trace/1"
+
+
+def trace_payload(collector):
+    """The JSON-ready dict for one collector's recordings.
+
+    Counter keys are stringified (JSON objects only have string keys)
+    so that a dumped-and-reloaded payload equals the original.
+    """
+    return {
+        "schema": SCHEMA,
+        "events": [dict(event) for event in collector.events()],
+        "counters": {
+            counter: {str(key): n for key, n in bucket.items()}
+            for counter, bucket in collector.counters().items()
+        },
+    }
+
+
+def stable_form(payload):
+    """The payload with every wall-clock (``*_s``) field removed.
+
+    Two runs of the same input must produce equal stable forms — the
+    determinism contract the observability tests pin down.
+    """
+    if isinstance(payload, dict):
+        return {
+            key: stable_form(value)
+            for key, value in payload.items()
+            if not (isinstance(key, str) and key.endswith(TIMING_SUFFIX))
+        }
+    if isinstance(payload, list):
+        return [stable_form(item) for item in payload]
+    return payload
+
+
+def to_json(payload):
+    """Canonical JSON text (sorted keys, trailing newline)."""
+    return json.dumps(payload, indent=2, sort_keys=True) + "\n"
+
+
+def format_event(event):
+    """One event as a single aligned text line."""
+    fields = " ".join(
+        f"{key}={_render(value)}"
+        for key, value in event.items()
+        if key not in ("category", "name")
+    )
+    return f"{event['category']:8} {event['name']:18} {fields}".rstrip()
+
+
+def _render(value):
+    if isinstance(value, float):
+        return f"{value:.6g}"
+    if isinstance(value, dict):
+        return "{" + ",".join(f"{k}:{_render(v)}" for k, v in value.items()) + "}"
+    return str(value)

@@ -1,0 +1,37 @@
+"""ExecutionMetrics unit tests — notably the 0/0 speedup regression.
+
+``speedup_over`` used to return inf for two zero-cost runs (0/0); two
+equally costless runs are equally fast, so the ratio is 1.0.
+"""
+
+import math
+
+from repro.machine.metrics import ExecutionMetrics
+
+
+def test_speedup_zero_over_zero_is_one():
+    assert ExecutionMetrics().speedup_over(ExecutionMetrics()) == 1.0
+
+
+def test_speedup_zero_cost_over_busy_is_infinite():
+    busy = ExecutionMetrics(work_time=10.0)
+    assert ExecutionMetrics().speedup_over(busy) == math.inf
+
+
+def test_speedup_busy_over_zero_cost_is_zero():
+    busy = ExecutionMetrics(work_time=10.0)
+    assert busy.speedup_over(ExecutionMetrics()) == 0.0
+
+
+def test_speedup_regular_ratio():
+    fast = ExecutionMetrics(work_time=5.0)
+    slow = ExecutionMetrics(work_time=15.0, overhead_time=5.0)
+    assert fast.speedup_over(slow) == 4.0
+    assert slow.speedup_over(fast) == 0.25
+
+
+def test_total_time_components():
+    metrics = ExecutionMetrics(work_time=3.0, overhead_time=2.0,
+                               exposed_latency=5.0, hidden_latency=100.0)
+    assert metrics.total_time == 10.0  # hidden latency costs nothing
+    assert metrics.comm_time == 7.0

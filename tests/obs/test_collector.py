@@ -1,0 +1,135 @@
+"""Collector mechanics and the determinism / zero-cost contracts."""
+
+import json
+
+from repro.core.solver import solve
+from repro.obs import (
+    NULL,
+    NullCollector,
+    TraceCollector,
+    current_collector,
+    stable_form,
+    to_json,
+    trace_payload,
+    tracing,
+)
+from repro.testing.generator import random_analyzed_program, random_problem
+
+
+def jump_free_instance():
+    """Mirror of the benchmark's each-equation-once instance."""
+    analyzed = random_analyzed_program(11, size=80, goto_probability=0.0)
+    problem = random_problem(analyzed, seed=12, n_elements=8)
+    assert not analyzed.ifg.jump_edges()
+    return analyzed, problem
+
+
+# -- activation -------------------------------------------------------------
+
+def test_default_collector_is_the_disabled_singleton():
+    assert current_collector() is NULL
+    assert NULL.enabled is False
+
+
+def test_tracing_nests_and_restores():
+    with tracing() as outer:
+        assert current_collector() is outer
+        with tracing() as inner:
+            assert current_collector() is inner
+            assert inner is not outer
+        assert current_collector() is outer
+    assert current_collector() is NULL
+
+
+def test_tracing_restores_on_error():
+    try:
+        with tracing():
+            raise RuntimeError("boom")
+    except RuntimeError:
+        pass
+    assert current_collector() is NULL
+
+
+# -- zero-cost disabled path ------------------------------------------------
+
+def test_null_collector_records_nothing():
+    collector = NullCollector()
+    with tracing(collector):
+        analyzed, problem = jump_free_instance()
+        solve(analyzed.ifg, problem)
+    assert collector.events() == []
+    assert collector.counters() == {}
+    assert trace_payload(collector)["events"] == []
+
+
+# -- recording --------------------------------------------------------------
+
+def test_trace_collector_events_and_counters():
+    collector = TraceCollector()
+    collector.event("solver", "sweep", kind="consumption", index=1)
+    collector.count("sweeps", "consumption")
+    collector.count("sweeps", "consumption", n=2)
+    assert collector.events("solver") == [
+        {"category": "solver", "name": "sweep",
+         "kind": "consumption", "index": 1}
+    ]
+    assert collector.events("machine") == []
+    assert collector.counters() == {"sweeps": {"consumption": 3}}
+    # counters() is a copy — mutating it must not leak back
+    collector.counters()["sweeps"]["consumption"] = 99
+    assert collector.counters() == {"sweeps": {"consumption": 3}}
+
+
+def test_timer_emits_duration_field():
+    collector = TraceCollector()
+    with collector.timer("solver", "run", extra=1):
+        pass
+    (event,) = collector.events("solver", "run")
+    assert event["extra"] == 1
+    assert event["duration_s"] >= 0.0
+
+
+# -- the §5.2 bound via the tracer ------------------------------------------
+
+def test_tracer_equation_counts_match_each_equation_once_bound():
+    """The tracer's per-equation counts must equal the bound the
+    benchmark asserts by monkeypatching (each equation once per node,
+    S2 skipping ROOT, S3/S4 once per node per timing)."""
+    analyzed, problem = jump_free_instance()
+    with tracing() as collector:
+        solve(analyzed.ifg, problem)
+    nodes = len(analyzed.ifg.nodes())  # ROOT included
+    counts = collector.counters()["equation_evaluations"]
+    assert set(counts) == set(range(1, 16))
+    for number in range(1, 9):       # S1
+        assert counts[number] == nodes, number
+    for number in (9, 10):           # S2 — once per child, ROOT excluded
+        assert counts[number] == nodes - 1, number
+    for number in range(11, 16):     # S3/S4 — per timing
+        assert counts[number] == nodes * 2, number
+
+
+# -- determinism ------------------------------------------------------------
+
+def trace_of_one_solve():
+    analyzed, problem = jump_free_instance()
+    with tracing() as collector:
+        solve(analyzed.ifg, problem)
+    return trace_payload(collector)
+
+
+def test_traces_identical_across_same_seed_runs():
+    first, second = trace_of_one_solve(), trace_of_one_solve()
+    assert stable_form(first) == stable_form(second)
+
+
+def test_stable_form_strips_only_wall_clock_fields():
+    payload = {"duration_s": 1.5, "nodes": 4,
+               "events": [{"best_solve_s": 0.1, "kind": "sweep"}]}
+    assert stable_form(payload) == {"nodes": 4, "events": [{"kind": "sweep"}]}
+
+
+def test_payload_round_trips_through_json():
+    payload = trace_of_one_solve()
+    assert payload["schema"] == "repro-trace/1"
+    assert json.loads(to_json(payload)) == payload

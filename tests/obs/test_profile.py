@@ -1,0 +1,101 @@
+"""End-to-end profiles and the BENCH_solver.json payload."""
+
+import json
+
+from repro.machine import ConditionPolicy
+from repro.obs import (
+    format_profile,
+    profile_source,
+    run_satisfies_each_equation_once,
+    stable_form,
+    to_json,
+)
+from repro.obs.bench import SCHEMA, solver_scaling, write_bench_json
+from repro.testing.programs import FIG11_SOURCE
+
+
+def test_profile_verifies_each_equation_once():
+    payload = profile_source(FIG11_SOURCE)
+    summary = payload["summary"]
+    assert len(summary["solver_runs"]) == 2  # READ (BEFORE) + WRITE (AFTER)
+    assert summary["each_equation_once"] is True
+    assert all(run_satisfies_each_equation_once(run)
+               for run in summary["solver_runs"])
+    # the two solves land in the global counters too
+    evaluations = summary["equation_evaluations"]
+    assert set(evaluations) == {str(n) for n in range(1, 16)}
+
+
+def test_profile_records_graph_statistics():
+    payload = profile_source(FIG11_SOURCE)
+    graph = payload["summary"]["graph"]
+    assert graph["interval_graph"]["nodes"] > 0
+    assert graph["interval_graph"]["jump_edges"] == 1  # the goto 77
+    assert "normalize" in graph
+
+
+def test_profile_counts_placements():
+    payload = profile_source(FIG11_SOURCE)
+    placements = payload["summary"]["placements"]
+    assert placements["reads"] > 0 and placements["writes"] > 0
+
+
+def test_profile_is_json_serializable_and_deterministic():
+    first = profile_source(FIG11_SOURCE)
+    second = profile_source(FIG11_SOURCE)
+    assert json.loads(to_json(first)) == first
+    assert stable_form(first) == stable_form(second)
+
+
+def test_profile_hardened_records_rung_decisions():
+    payload = profile_source(FIG11_SOURCE, hardened=True)
+    hardened = payload["summary"]["hardened"]
+    assert hardened["result"]["rung"] == "balanced"
+    assert hardened["attempts"][0]["ok"] is True
+    assert hardened["paths_checked"] > 0
+
+
+def test_profile_simulation_timeline_matches_metrics():
+    payload = profile_source(FIG11_SOURCE, run_simulation=True,
+                             bindings={"n": 8},
+                             policy=ConditionPolicy("always"))
+    timeline = payload["summary"]["machine"]["timeline_counts"]
+    metrics = payload["summary"]["machine_metrics"]
+    assert timeline["send"] == metrics["messages"] > 0
+    assert timeline["transmit"] == timeline["send"]
+    assert 0 < timeline["recv"] <= timeline["send"]
+
+
+def test_format_profile_human_rendering():
+    text = format_profile(profile_source(FIG11_SOURCE))
+    assert text.startswith("# repro profile")
+    assert "each-equation-once (all runs): yes" in text
+    assert "placements: reads=" in text
+
+
+def test_format_profile_event_stream():
+    payload = profile_source(FIG11_SOURCE)
+    text = format_profile(payload, events=True)
+    assert text.count("\n") > len(payload["events"])
+
+
+# -- BENCH_solver.json ------------------------------------------------------
+
+def test_bench_report_shape(tmp_path):
+    report = solver_scaling(sizes=(12, 24), repeats=1)
+    assert report["schema"] == SCHEMA
+    assert [row["size"] for row in report["rows"]] == [12, 24]
+    assert report["each_equation_once"] is True
+    assert all(row["converged"] for row in report["rows"])
+    assert len(report["per_node_growth_ratios_s"]) == 1
+
+    path = tmp_path / "BENCH_solver.json"
+    written = write_bench_json(str(path), report)
+    assert written is report
+    assert json.loads(path.read_text()) == report
+
+
+def test_bench_rows_increase_in_nodes():
+    report = solver_scaling(sizes=(12, 24), repeats=1)
+    nodes = [row["nodes"] for row in report["rows"]]
+    assert nodes == sorted(nodes) and nodes[0] < nodes[-1]

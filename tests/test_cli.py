@@ -209,6 +209,85 @@ def test_annotate_conservative_jumps(fig11_file):
     assert output.count("WRITE_Send") >= 1
 
 
+# -- observability: profile and --trace -------------------------------------
+
+def test_profile_human_summary(fig11_file):
+    code, output = run(["profile", fig11_file])
+    assert code == 0
+    assert "each-equation-once (all runs): yes" in output
+    assert "solver run 1:" in output and "solver run 2:" in output
+
+
+def test_profile_json(fig11_file):
+    import json
+    code, output = run(["profile", fig11_file, "--json"])
+    assert code == 0
+    payload = json.loads(output)
+    assert payload["schema"] == "repro-trace/1"
+    assert payload["summary"]["each_equation_once"] is True
+
+
+def test_profile_hardened_simulate(fig11_file):
+    code, output = run(["profile", fig11_file, "--hardened", "--simulate",
+                        "--n", "8"])
+    assert code == 0
+    assert "hardened rung balanced: ok" in output
+    assert "machine timeline:" in output
+
+
+def test_profile_events_listing(fig11_file):
+    code, output = run(["profile", fig11_file, "--events"])
+    assert code == 0
+    assert "solver   run" in output
+
+
+def test_profile_error_hygiene(capsys, bad_file):
+    assert_clean_failure(capsys, ["profile", bad_file])
+
+
+def test_annotate_trace_flag(fig11_file):
+    code, output = run(["annotate", fig11_file, "--trace"])
+    assert code == 0
+    assert "READ_Send" in output  # the normal output is still there
+    assert "each-equation-once (all runs): yes" in output
+
+
+def test_annotate_trace_json_file(tmp_path, fig11_file):
+    import json
+    trace_path = tmp_path / "trace.json"
+    code, output = run(["annotate", fig11_file,
+                        "--trace-json", str(trace_path)])
+    assert code == 0
+    assert "trace" not in output  # JSON goes to the file, not stdout
+    payload = json.loads(trace_path.read_text())
+    assert payload["schema"] == "repro-trace/1"
+    assert payload["counters"]["equation_evaluations"]["1"] > 0
+
+
+def test_simulate_trace_includes_machine_timeline(fig11_file):
+    code, output = run(["simulate", fig11_file, "--n", "8", "--trace"])
+    assert code == 0
+    assert "machine timeline:" in output
+    assert "send=" in output and "recv=" in output
+
+
+def test_simulate_trace_json_stdout(fig11_file):
+    import json
+    code, output = run(["simulate", fig11_file, "--n", "8",
+                        "--trace-json", "-"])
+    assert code == 0
+    json_start = output.index("{")
+    payload = json.loads(output[json_start:])
+    assert payload["summary"]["machine"]["timeline_counts"]["send"] > 0
+
+
+def test_untraced_commands_leave_no_collector(fig11_file):
+    from repro.obs import NULL, current_collector
+    code, _ = run(["annotate", fig11_file])
+    assert code == 0
+    assert current_collector() is NULL
+
+
 def test_stdin_input(monkeypatch):
     import sys
     monkeypatch.setattr(sys, "stdin", io.StringIO("u = 1\n"))
