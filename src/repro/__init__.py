@@ -62,6 +62,13 @@ from repro.commgen import (
     harden_communication,
     naive_communication,
 )
+from repro.batch import (
+    BatchOptions,
+    BatchResult,
+    PipelineCache,
+    compile_many,
+    compile_one,
+)
 from repro.machine import (
     ConditionPolicy,
     FaultPlan,
@@ -108,6 +115,11 @@ __all__ = [
     "HardenedPipeline",
     "ResourceBudget",
     "harden_communication",
+    "BatchOptions",
+    "BatchResult",
+    "PipelineCache",
+    "compile_many",
+    "compile_one",
     "ConditionPolicy",
     "FaultPlan",
     "MachineModel",

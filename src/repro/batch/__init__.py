@@ -1,0 +1,38 @@
+"""Batch compilation: many programs, worker pools, memoized pipelines.
+
+The plain pipeline recompiles everything from scratch on every call;
+this package makes corpus-scale compilation cheap (``docs/scaling.md``):
+
+* :class:`PipelineCache` — a content-addressed cache of the immutable
+  pipeline stages (analyzed frontends and fully solved pre-annotation
+  state), storing pickled snapshots so the annotator's in-place AST
+  mutation can never leak into a cached entry;
+* :func:`compile_many` / :func:`compile_one` — the drivers that fan a
+  corpus across a process pool and merge per-program results, errors,
+  cache statistics, traces, and degradation reports;
+* ``repro batch <dir>`` — the CLI front door;
+* ``python -m repro.obs.bench --batch`` — the throughput benchmark
+  (``BENCH_batch.json``).
+"""
+
+from repro.batch.cache import CACHE_SCHEMA, PipelineCache, source_fingerprint
+from repro.batch.driver import (
+    PREPARED_NAMESPACE,
+    BatchOptions,
+    BatchResult,
+    CompiledProgram,
+    compile_many,
+    compile_one,
+)
+
+__all__ = [
+    "CACHE_SCHEMA",
+    "PipelineCache",
+    "source_fingerprint",
+    "PREPARED_NAMESPACE",
+    "BatchOptions",
+    "BatchResult",
+    "CompiledProgram",
+    "compile_many",
+    "compile_one",
+]

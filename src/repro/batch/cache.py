@@ -1,0 +1,160 @@
+"""Content-addressed cache for pipeline state (``docs/scaling.md``).
+
+The :class:`PipelineCache` memoizes the expensive, *immutable* stages of
+compilation — parse → CFG → normalize → ``IntervalFlowGraph`` (namespace
+``"analyzed"``) and the fully solved pre-annotation state (namespace
+``"prepared"``) — keyed by a SHA-256 fingerprint of the source text plus
+every option that influences the cached computation.
+
+Two properties are load-bearing:
+
+* **Entries are stored as pickle bytes, not objects.**
+  :meth:`put` snapshots the state *at store time* and :meth:`get`
+  materializes a fresh object graph on every hit.  This is the defense
+  against the pipeline's in-place mutation:
+  :func:`~repro.commgen.pipeline.annotate_prepared` splices READ/WRITE
+  statements directly into ``analyzed.program``, so handing two callers
+  the same object would make the second see the first caller's
+  communication statements as real code.  Bytes in, private copy out —
+  a cached program can never be observed mutated.
+* **Keys are content addresses.** The same text with the same options
+  always maps to the same key, across processes and across runs (with a
+  ``directory``), so a warm disk cache is shared by every worker of
+  :func:`repro.batch.compile_many`.
+
+The cache is in-memory by default; give it a ``directory`` to persist
+entries (one file per entry, written atomically via rename so a crashed
+worker never leaves a torn entry behind).
+"""
+
+import hashlib
+import os
+import pickle
+import tempfile
+
+#: Bump when the pickled payload layout changes: fingerprints include it,
+#: so stale on-disk entries from older layouts simply miss.
+CACHE_SCHEMA = "repro-batch-cache/1"
+
+
+def source_fingerprint(text, **options):
+    """The content address of ``text`` compiled under ``options``.
+
+    Options are folded into the hash in sorted order, so keyword order
+    never matters; values must have stable ``repr`` forms (bools, ints,
+    strings, None)."""
+    digest = hashlib.sha256()
+    digest.update(CACHE_SCHEMA.encode())
+    digest.update(b"\x00")
+    digest.update(text.encode())
+    for name in sorted(options):
+        digest.update(f"\x00{name}={options[name]!r}".encode())
+    return digest.hexdigest()
+
+
+class PipelineCache:
+    """Content-addressed, namespaced pickle store with hit/miss stats.
+
+    ``directory=None`` keeps entries in memory only (fastest, private to
+    the process); with a directory every entry is also written to disk,
+    making the cache shared across worker processes and warm across
+    runs.  ``max_memory_entries`` bounds the in-memory layer (oldest
+    entries are evicted first; disk entries are never evicted here).
+    """
+
+    def __init__(self, directory=None, max_memory_entries=1024):
+        self.directory = directory
+        self.max_memory_entries = max_memory_entries
+        self._memory = {}  # (namespace, key) -> pickle bytes
+        self.hits = 0
+        self.misses = 0
+        self.stores = 0
+        if directory is not None:
+            os.makedirs(directory, exist_ok=True)
+
+    # -- keying --------------------------------------------------------------
+
+    def key(self, text, **options):
+        """Fingerprint ``text`` + ``options`` (see
+        :func:`source_fingerprint`)."""
+        return source_fingerprint(text, **options)
+
+    # -- storage -------------------------------------------------------------
+
+    def get(self, namespace, key):
+        """The entry for ``(namespace, key)`` as a *fresh* object graph,
+        or ``None`` on a miss."""
+        payload = self._memory.get((namespace, key))
+        if payload is None and self.directory is not None:
+            path = self._path(namespace, key)
+            try:
+                with open(path, "rb") as handle:
+                    payload = handle.read()
+            except OSError:
+                payload = None
+            else:
+                self._remember(namespace, key, payload)
+        if payload is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        return pickle.loads(payload)
+
+    def put(self, namespace, key, state):
+        """Snapshot ``state`` (pickle now, so later mutation of the live
+        object cannot leak into the cache) and store it."""
+        payload = pickle.dumps(state, protocol=pickle.HIGHEST_PROTOCOL)
+        self._remember(namespace, key, payload)
+        if self.directory is not None:
+            path = self._path(namespace, key)
+            handle, temp_path = tempfile.mkstemp(dir=self.directory,
+                                                 suffix=".tmp")
+            try:
+                with os.fdopen(handle, "wb") as temp:
+                    temp.write(payload)
+                os.replace(temp_path, path)
+            except OSError:
+                try:
+                    os.unlink(temp_path)
+                except OSError:
+                    pass
+                raise
+        self.stores += 1
+        return payload
+
+    def _remember(self, namespace, key, payload):
+        memory = self._memory
+        memory[(namespace, key)] = payload
+        while len(memory) > self.max_memory_entries:
+            memory.pop(next(iter(memory)))
+
+    def _path(self, namespace, key):
+        safe = namespace.replace(os.sep, "_")
+        return os.path.join(self.directory, f"{safe}-{key}.pickle")
+
+    # -- introspection -------------------------------------------------------
+
+    def __len__(self):
+        return len(self._memory)
+
+    @property
+    def hit_rate(self):
+        """Hits over lookups (0.0 when nothing was looked up)."""
+        lookups = self.hits + self.misses
+        return self.hits / lookups if lookups else 0.0
+
+    def stats(self):
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "hit_rate": self.hit_rate,
+            "memory_entries": len(self._memory),
+            "directory": self.directory,
+        }
+
+    def clear(self):
+        """Drop the in-memory layer and reset the counters (on-disk
+        entries are left alone)."""
+        self._memory.clear()
+        self.hits = self.misses = self.stores = 0

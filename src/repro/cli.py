@@ -15,6 +15,9 @@
     python -m repro profile program.f [--json] [--events] [--simulate]
                                       [--n N] [--hardened]
     python -m repro pre program.f
+    python -m repro batch DIR_OR_FILES... [--jobs N] [--cache DIR]
+                                          [--no-cache] [--hardened]
+                                          [--json] [--quiet]
 
 ``annotate`` prints the program with balanced READ/WRITE communication
 (the paper's Figure 14 output format); ``graph`` prints the interval
@@ -28,6 +31,14 @@ placement under GIVE-N-TAKE, Lazy Code Motion, and Morel-Renvoise.
 ``--trace`` on ``annotate``/``simulate`` appends the same human-readable
 trace summary; ``--trace-json PATH`` writes the full JSON trace (``-``
 for stdout).
+
+``batch`` compiles every ``*.f`` program under a directory (or an
+explicit file list) through the memoized batch layer
+(``docs/scaling.md``): ``--jobs`` fans the corpus across worker
+processes, ``--cache DIR`` keeps a content-addressed cache of solved
+pipeline state warm across runs, ``--no-cache`` disables caching
+entirely.  Per-program errors are reported and counted, never fatal to
+the rest of the corpus; the command exits 1 when any program failed.
 
 ``--hardened`` routes placement through the self-checking
 :class:`~repro.commgen.hardened.HardenedPipeline`; ``--faults`` injects
@@ -137,6 +148,33 @@ def build_parser():
 
     pre = commands.add_parser("pre", help="compare PRE placements")
     pre.add_argument("file")
+
+    batch = commands.add_parser(
+        "batch", help="compile a corpus through the memoized batch "
+                      "layer (docs/scaling.md)")
+    batch.add_argument("paths", nargs="+", metavar="PATH",
+                       help="directories (every *.f inside) and/or "
+                            "individual source files")
+    batch.add_argument("--jobs", type=int, default=1,
+                       help="worker processes (default 1 = serial)")
+    batch.add_argument("--cache", metavar="DIR", default=None,
+                       help="persist the content-addressed pipeline "
+                            "cache in DIR (warm across runs); default "
+                            "is an in-memory cache for this run only")
+    batch.add_argument("--no-cache", action="store_true",
+                       help="disable the pipeline cache entirely")
+    batch.add_argument("--hardened", action="store_true",
+                       help="compile every program through the "
+                            "self-checking degrading pipeline")
+    batch.add_argument("--owner-computes", action="store_true",
+                       help="strict owner-computes rule (no writes)")
+    batch.add_argument("--atomic", action="store_true",
+                       help="atomic operations instead of send/recv")
+    batch.add_argument("--json", action="store_true",
+                       help="machine-readable batch report (includes "
+                            "every annotated source)")
+    batch.add_argument("--quiet", action="store_true",
+                       help="summary line only, no per-program lines")
 
     explain = commands.add_parser(
         "explain", help="dataflow report for the communication problems")
@@ -294,6 +332,54 @@ def command_pre(args, out):
                      or "-") + "\n")
 
 
+def command_batch(args, out):
+    import json
+    import os
+
+    from repro.batch import BatchOptions, PipelineCache, compile_many
+
+    sources = []
+    for path in args.paths:
+        if os.path.isdir(path):
+            for name in sorted(os.listdir(path)):
+                if name.endswith(".f"):
+                    full = os.path.join(path, name)
+                    sources.append((full, read_source(full)))
+        else:
+            sources.append((path, read_source(path)))
+    if not sources:
+        raise FileNotFoundError(
+            f"no *.f programs found under: {', '.join(args.paths)}")
+
+    cache = None if args.no_cache else PipelineCache(directory=args.cache)
+    options = BatchOptions(
+        hardened=args.hardened,
+        split_messages=not args.atomic,
+        pipeline={"owner_computes": args.owner_computes},
+    )
+    result = compile_many(sources, jobs=args.jobs, cache=cache,
+                          options=options)
+
+    if args.json:
+        out.write(json.dumps(result.as_dict(), indent=2, sort_keys=True))
+        out.write("\n")
+        return 1 if result.error_count else 0
+    if not args.quiet:
+        for program in result.programs:
+            if program.ok:
+                line = (f"{program.name}: reads={program.reads} "
+                        f"writes={program.writes}")
+                if program.cache_hit:
+                    line += " [cached]"
+                if program.rung:
+                    line += f" [rung={program.rung}]"
+            else:
+                line = f"{program.name}: error: {program.error}"
+            out.write(line + "\n")
+    out.write(result.summary() + "\n")
+    return 1 if result.error_count else 0
+
+
 def command_explain(args, out):
     from repro.core.report import solution_report
 
@@ -315,6 +401,7 @@ COMMANDS = {
     "simulate": command_simulate,
     "profile": command_profile,
     "pre": command_pre,
+    "batch": command_batch,
     "explain": command_explain,
 }
 
@@ -323,13 +410,13 @@ def main(argv=None, out=None):
     out = out if out is not None else sys.stdout
     args = build_parser().parse_args(argv)
     try:
-        COMMANDS[args.command](args, out)
+        status = COMMANDS[args.command](args, out)
     except (ReproError, OSError) as error:
         # one-line message, no traceback, exit status 2 (argparse's own
         # usage errors use the same status)
         print(f"error: {error}", file=sys.stderr)
         return 2
-    return 0
+    return 0 if status is None else status
 
 
 if __name__ == "__main__":

@@ -20,7 +20,13 @@ under resource budgets, degrades down a ladder instead of raising — see
 
 from repro.commgen.problems import build_read_problem, build_write_problem
 from repro.commgen.annotate import Annotator
-from repro.commgen.pipeline import CommunicationResult, generate_communication
+from repro.commgen.pipeline import (
+    CommunicationResult,
+    PreparedCommunication,
+    annotate_prepared,
+    generate_communication,
+    prepare_communication,
+)
 from repro.commgen.naive import naive_communication
 from repro.commgen.hardened import (
     DegradationReport,
@@ -36,7 +42,10 @@ __all__ = [
     "build_write_problem",
     "Annotator",
     "CommunicationResult",
+    "PreparedCommunication",
+    "annotate_prepared",
     "generate_communication",
+    "prepare_communication",
     "naive_communication",
     "DegradationReport",
     "HardenedPipeline",

@@ -1,4 +1,20 @@
-"""The end-to-end communication generation pipeline."""
+"""The end-to-end communication generation pipeline.
+
+The pipeline has two phases with very different mutation behavior:
+
+* :func:`prepare_communication` — parse, build/normalize the flow
+  graph, collect accesses, build and solve both GIVE-N-TAKE problems,
+  run the synthetic-node post-pass.  Nothing here mutates the program
+  AST, so the resulting :class:`PreparedCommunication` is the state the
+  batch layer's content-addressed cache stores (``repro.batch``).
+* :func:`annotate_prepared` — splice the solved placements into the
+  AST as READ/WRITE statements.  This *mutates* ``analyzed.program`` in
+  place, which is exactly why cached state must be snapshotted before
+  this phase runs.
+
+:func:`generate_communication` chains the two, preserving the original
+one-call API.
+"""
 
 from repro.analysis.ownership import OwnershipModel
 from repro.analysis.references import collect_accesses
@@ -11,6 +27,28 @@ from repro.lang.parser import parse
 from repro.lang.printer import format_program
 from repro.lang.symbols import SymbolTable
 from repro.testing.programs import AnalyzedProgram
+
+
+class PreparedCommunication:
+    """Everything the pipeline computed *before* annotation.
+
+    The contained ``analyzed.program`` AST is still pristine — no
+    communication statements have been spliced in — so this object is
+    safe to serialize and reuse (each reuse must still work on a private
+    copy, since :func:`annotate_prepared` mutates it)."""
+
+    def __init__(self, analyzed, symbols, accesses, read_problem,
+                 read_solution, read_placement, write_problem,
+                 write_solution, write_placement):
+        self.analyzed = analyzed
+        self.symbols = symbols
+        self.accesses = accesses
+        self.read_problem = read_problem
+        self.read_solution = read_solution
+        self.read_placement = read_placement
+        self.write_problem = write_problem
+        self.write_solution = write_solution
+        self.write_placement = write_placement
 
 
 class CommunicationResult:
@@ -48,6 +86,84 @@ class CommunicationResult:
                 self.write_placement.production_count())
 
 
+def prepare_communication(source, owner_computes=False, postpass=True,
+                          hoist_zero_trip=True, after_jumps="optimistic",
+                          refine_sections=True, split_irreducible=False,
+                          max_splits=None, check_paths=150,
+                          solver_rounds=None):
+    """Run everything up to (but excluding) annotation; return a
+    :class:`PreparedCommunication`.
+
+    ``source`` may be source text, a parsed Program, or an already
+    analyzed :class:`~repro.testing.programs.AnalyzedProgram` (the batch
+    layer reuses cached frontends this way).  Parameter semantics match
+    :func:`generate_communication`.
+    """
+    if isinstance(source, AnalyzedProgram):
+        analyzed = source
+    else:
+        program = parse(source) if isinstance(source, str) else source
+        analyzed = AnalyzedProgram(program,
+                                   split_irreducible=split_irreducible,
+                                   max_splits=max_splits)
+    symbols = SymbolTable.from_program(analyzed.program)
+    ownership = OwnershipModel(symbols, owner_computes=owner_computes)
+    accesses, _ = collect_accesses(analyzed, symbols)
+
+    read_problem = build_read_problem(accesses, ownership,
+                                      refine=refine_sections)
+    read_problem.hoist_zero_trip = hoist_zero_trip
+    read_problem.freeze()
+    read_solution = solve(analyzed.ifg, read_problem, max_rounds=solver_rounds)
+    read_placement = Placement(analyzed.ifg, read_problem, read_solution)
+
+    if postpass:
+        shift_synthetic_productions(read_placement)
+
+    write_problem = build_write_problem(accesses, ownership,
+                                        read_placement=read_placement,
+                                        refine=refine_sections)
+    write_problem.hoist_zero_trip = hoist_zero_trip
+    write_problem.freeze()
+    write_solution, write_placement = _solve_write(
+        analyzed, write_problem, after_jumps, check_paths, solver_rounds)
+
+    if postpass:
+        shift_synthetic_productions(write_placement)
+
+    return PreparedCommunication(
+        analyzed, symbols, accesses,
+        read_problem, read_solution, read_placement,
+        write_problem, write_solution, write_placement,
+    )
+
+
+def annotate_prepared(prepared, split_messages=True):
+    """Splice ``prepared``'s placements into its program AST and return
+    the :class:`CommunicationResult`.
+
+    This mutates ``prepared.analyzed.program`` in place — never feed it
+    a :class:`PreparedCommunication` that something else still needs in
+    pristine form (the batch cache hands out private copies for exactly
+    this reason)."""
+    annotator = Annotator(prepared.analyzed)
+    # WRITEs first so that at shared points data is written back before
+    # a READ fetches it (Figure 3's then branch ordering).
+    annotator.apply(prepared.write_placement, "write",
+                    atomic=not split_messages,
+                    reduce_ops=getattr(prepared.write_problem,
+                                       "reduction_ops", {}))
+    annotator.apply(prepared.read_placement, "read",
+                    atomic=not split_messages)
+
+    return CommunicationResult(
+        prepared.analyzed, prepared.symbols, prepared.accesses,
+        prepared.read_problem, prepared.read_solution,
+        prepared.read_placement, prepared.write_problem,
+        prepared.write_solution, prepared.write_placement,
+    )
+
+
 def generate_communication(source, owner_computes=False, split_messages=True,
                            postpass=True, hoist_zero_trip=True,
                            after_jumps="optimistic", refine_sections=True,
@@ -83,50 +199,25 @@ def generate_communication(source, owner_computes=False, split_messages=True,
     * ``solver_rounds`` — iteration guard on the solver's backward
       consumption fixpoint (see :func:`repro.core.solver.solve`).
     """
-    program = parse(source) if isinstance(source, str) else source
-    analyzed = AnalyzedProgram(program, split_irreducible=split_irreducible,
-                               max_splits=max_splits)
-    symbols = SymbolTable.from_program(program)
-    ownership = OwnershipModel(symbols, owner_computes=owner_computes)
-    accesses, _ = collect_accesses(analyzed, symbols)
-
-    read_problem = build_read_problem(accesses, ownership,
-                                      refine=refine_sections)
-    read_problem.hoist_zero_trip = hoist_zero_trip
-    read_solution = solve(analyzed.ifg, read_problem, max_rounds=solver_rounds)
-    read_placement = Placement(analyzed.ifg, read_problem, read_solution)
-
-    if postpass:
-        shift_synthetic_productions(read_placement)
-
-    write_problem = build_write_problem(accesses, ownership,
-                                        read_placement=read_placement,
-                                        refine=refine_sections)
-    write_problem.hoist_zero_trip = hoist_zero_trip
-    write_solution, write_placement = _solve_write(
-        analyzed, write_problem, after_jumps, check_paths, solver_rounds)
-
-    if postpass:
-        shift_synthetic_productions(write_placement)
-
-    annotator = Annotator(analyzed)
-    # WRITEs first so that at shared points data is written back before
-    # a READ fetches it (Figure 3's then branch ordering).
-    annotator.apply(write_placement, "write", atomic=not split_messages,
-                    reduce_ops=getattr(write_problem, "reduction_ops", {}))
-    annotator.apply(read_placement, "read", atomic=not split_messages)
-
-    return CommunicationResult(
-        analyzed, symbols, accesses,
-        read_problem, read_solution, read_placement,
-        write_problem, write_solution, write_placement,
+    prepared = prepare_communication(
+        source,
+        owner_computes=owner_computes,
+        postpass=postpass,
+        hoist_zero_trip=hoist_zero_trip,
+        after_jumps=after_jumps,
+        refine_sections=refine_sections,
+        split_irreducible=split_irreducible,
+        max_splits=max_splits,
+        check_paths=check_paths,
+        solver_rounds=solver_rounds,
     )
+    return annotate_prepared(prepared, split_messages=split_messages)
 
 
 def _solve_write(analyzed, write_problem, after_jumps, check_paths=150,
                  solver_rounds=None):
     """Solve the AFTER problem per the requested jump treatment."""
-    from repro.core.checker import check_placement
+    from repro.core.checker import check_placement_dual
     from repro.graph.views import BackwardView
 
     has_jumps = bool(analyzed.ifg.jump_edges())
@@ -135,13 +226,14 @@ def _solve_write(analyzed, write_problem, after_jumps, check_paths=150,
         solution = solve(analyzed.ifg, write_problem, view=view,
                          max_rounds=solver_rounds)
         placement = Placement(analyzed.ifg, write_problem, solution)
-        balanced = not check_placement(
-            analyzed.ifg, write_problem, placement, max_paths=check_paths
-        ).by_kind("balance")
-        sufficient = check_placement(
-            analyzed.ifg, write_problem, placement, max_paths=check_paths,
-            min_trips=1
-        ).ok(ignore=("safety", "redundant"))
+        # One path enumeration and replay serves both verdicts: balance
+        # over all bounded paths, sufficiency over the min-trip subset
+        # (previously two separate check_placement calls doubled the
+        # check_paths-bounded work on every optimistic solve).
+        full, min_trip = check_placement_dual(
+            analyzed.ifg, write_problem, placement, max_paths=check_paths)
+        balanced = not full.by_kind("balance")
+        sufficient = min_trip.ok(ignore=("safety", "redundant"))
         if balanced and sufficient:
             return solution, placement
     solution = solve(analyzed.ifg, write_problem, max_rounds=solver_rounds)

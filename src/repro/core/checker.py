@@ -112,6 +112,50 @@ def check_placement(ifg, problem, placement, max_paths=200, max_node_visits=3,
     return CheckReport(violations, len(paths), truncated=len(paths) >= max_paths)
 
 
+def check_placement_dual(ifg, problem, placement, max_paths=200,
+                         max_node_visits=3):
+    """One path enumeration and replay, two verdicts.
+
+    Returns ``(full, min_trip)``: ``full`` is the report over all
+    bounded paths (what ``check_placement`` with ``min_trips=0``
+    computes); ``min_trip`` restricts the *same* replayed paths to those
+    on which every entered loop runs its body at least once — the paths
+    on which sufficiency is exact.  Callers that previously ran
+    ``check_placement`` twice (once per ``min_trips`` value) get both
+    answers for a single ``max_paths``-bounded enumeration and replay.
+    """
+    paths = enumerate_paths(ifg, max_paths=max_paths,
+                            max_node_visits=max_node_visits)
+    violations = []
+    trip_violations = []
+    trip_paths = 0
+    for index, path in enumerate(paths):
+        found = _replay(ifg, problem, placement, path, index)
+        violations.extend(found)
+        if _path_has_min_trips(ifg.forest, path):
+            trip_paths += 1
+            trip_violations.extend(found)
+    truncated = len(paths) >= max_paths
+    return (CheckReport(violations, len(paths), truncated=truncated),
+            CheckReport(trip_violations, trip_paths, truncated=truncated))
+
+
+def _path_has_min_trips(forest, path):
+    """Whether every loop *entered* on ``path`` executes its body at
+    least once — mirrors the successor restriction ``enumerate_paths``
+    applies under ``min_trips=1``."""
+    for i in range(len(path) - 1):
+        node = path[i]
+        if not forest.is_header(node):
+            continue
+        previous = path[i - 1] if i else None
+        arrived_externally = (previous is None
+                              or not forest.contains(node, previous))
+        if arrived_externally and not forest.contains(node, path[i + 1]):
+            return False
+    return True
+
+
 # ---------------------------------------------------------------------------
 
 

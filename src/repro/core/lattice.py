@@ -25,17 +25,41 @@ class Universe:
     def __init__(self, elements=()):
         self._index = {}
         self._elements = []
+        self._frozen = False
         for element in elements:
             self.add(element)
 
     def add(self, element):
-        """Intern ``element``; return its index (idempotent)."""
+        """Intern ``element``; return its index (idempotent).
+
+        Raises :class:`~repro.util.errors.SolverError` once the universe
+        is :meth:`frozen <freeze>` — a new element would change ``top``
+        and the meaning of every bitset already baked into solutions."""
         if element in self._index:
             return self._index[element]
+        if self._frozen:
+            raise SolverError(
+                f"cannot intern {element!r}: the universe is frozen "
+                f"(bitsets built against top of {len(self._elements)} "
+                f"elements would be silently invalidated)")
         index = len(self._elements)
         self._index[element] = index
         self._elements.append(element)
         return index
+
+    def freeze(self):
+        """Seal the universe: further :meth:`add` calls of *new* elements
+        raise :class:`~repro.util.errors.SolverError`.
+
+        Call this once a problem's initial variables are fully built —
+        ``top`` and every ``bit()`` handed out are only stable while the
+        element count is.  Idempotent; returns ``self`` for chaining."""
+        self._frozen = True
+        return self
+
+    @property
+    def is_frozen(self):
+        return self._frozen
 
     def __len__(self):
         return len(self._elements)
@@ -77,14 +101,18 @@ class Universe:
         return (1 << len(self._elements)) - 1
 
     def members(self, bits):
-        """The elements of a bitset, in universe order."""
+        """The elements of a bitset, in universe order.
+
+        Iterates *set* bits only (``bits & -bits`` isolates the lowest
+        one, ``bit_length`` names it), so a singleton set costs O(1)
+        instead of O(|universe|) — this is on the render/placement hot
+        path via :meth:`frozen` and :meth:`format`."""
+        elements = self._elements
         result = []
-        index = 0
         while bits:
-            if bits & 1:
-                result.append(self._elements[index])
-            bits >>= 1
-            index += 1
+            low = bits & -bits
+            result.append(elements[low.bit_length() - 1])
+            bits ^= low
         return result
 
     def frozen(self, bits):

@@ -94,6 +94,16 @@ class Problem:
         else:
             self._add(self._steal_init, header, elements)
 
+    def freeze(self):
+        """Seal the universe once the initial variables are fully built
+        (see :meth:`repro.core.lattice.Universe.freeze`): a late
+        ``add_take``/``add_steal``/``add_give`` of an unseen element
+        raises :class:`~repro.util.errors.SolverError` instead of
+        silently invalidating bitsets already baked into solutions.
+        Existing elements may still be referenced.  Returns ``self``."""
+        self.universe.freeze()
+        return self
+
     # -- access -------------------------------------------------------------
 
     def take_init(self, node):

@@ -1,10 +1,11 @@
-"""The machine-readable solver-scaling trajectory: ``BENCH_solver.json``.
+"""Machine-readable benchmark artifacts: ``BENCH_solver.json`` and
+``BENCH_batch.json``.
 
-The paper's §5.2 complexity claim (every equation evaluated exactly once
-per node, O(E) total) is asserted by ``benchmarks/
-test_bench_scaling_linear.py``; this module *measures* it into an
-artifact CI uploads on every run, so future PRs have a trajectory to
-regress against::
+**Solver scaling** — the paper's §5.2 complexity claim (every equation
+evaluated exactly once per node, O(E) total) is asserted by
+``benchmarks/test_bench_scaling_linear.py``; this module *measures* it
+into an artifact CI uploads on every run, so future PRs have a
+trajectory to regress against::
 
     python -m repro.obs.bench --output BENCH_solver.json --check
 
@@ -15,12 +16,26 @@ evaluation counts, consumption-sweep count and fixpoint rounds.
 ``--check`` exits nonzero when time per node grows beyond the same 4x
 tolerance the pytest benchmark enforces.
 
+**Batch throughput** — the ``repro.batch`` layer's reason to exist
+(``docs/scaling.md``)::
+
+    python -m repro.obs.bench --batch --output BENCH_batch.json --check
+
+compiles a generator corpus three ways — serially with no cache,
+parallel with a cold content-addressed cache, and parallel again with
+the warm cache — and records programs/second, the warm cache hit rate,
+and the speedups between modes.  ``--check`` exits nonzero when the
+parallel warm run is no faster than the serial uncached one, or when a
+full-hit warm cache fails to beat the cold run (i.e. cache hits give no
+speedup).
+
 Wall-clock fields end in ``_s``; everything else is deterministic.
 """
 
 import argparse
 import json
 import sys
+import tempfile
 import time
 
 from repro.core.solver import solve
@@ -29,6 +44,7 @@ from repro.obs.profile import run_satisfies_each_equation_once
 from repro.testing.generator import random_analyzed_program, random_problem
 
 SCHEMA = "repro-bench-solver/1"
+BATCH_SCHEMA = "repro-bench-batch/1"
 
 #: The size ladder — kept in sync with benchmarks/test_bench_scaling_linear.py.
 SIZES = (40, 160, 640)
@@ -86,6 +102,80 @@ def solver_scaling(sizes=SIZES, seed=11, n_elements=8, repeats=3):
     }
 
 
+def batch_corpus(n_programs=32, size=14, seed=0):
+    """A deterministic generator corpus of ``(name, text)`` programs
+    with real array traffic."""
+    from repro.lang.printer import format_program
+    from repro.testing.generator import ArrayProgramGenerator
+
+    corpus = []
+    for index in range(n_programs):
+        generator = ArrayProgramGenerator(seed=seed + index)
+        corpus.append((f"gen-{seed + index:03}",
+                       format_program(generator.program(size=size))))
+    return corpus
+
+
+def _batch_mode_row(result):
+    return {
+        "jobs": result.jobs,
+        "elapsed_s": result.elapsed_s,
+        "programs_per_second_s": result.programs_per_second,
+        "ok": result.ok_count,
+        "errors": result.error_count,
+        "cache_hits": result.cache_hits,
+    }
+
+
+def batch_throughput(n_programs=32, jobs=4, size=14, seed=0, repeats=2):
+    """Measure batch compilation throughput; return the
+    ``BENCH_batch.json`` payload.
+
+    Three modes over the same corpus: ``serial_uncached`` (the
+    pre-batch-layer baseline), ``parallel_cold`` (worker pool, empty
+    disk cache), ``parallel_warm`` (same cache, now fully populated).
+    ``repeats`` re-runs the serial and warm modes and keeps the fastest,
+    since both are side-effect-free once the cache is warm.
+    """
+    from repro.batch import PipelineCache, compile_many
+
+    corpus = batch_corpus(n_programs=n_programs, size=size, seed=seed)
+
+    serial = min((compile_many(corpus, jobs=1, cache=None)
+                  for _ in range(repeats)), key=lambda r: r.elapsed_s)
+    with tempfile.TemporaryDirectory(prefix="repro-bench-batch-") as directory:
+        cache = PipelineCache(directory=directory)
+        cold = compile_many(corpus, jobs=jobs, cache=cache)
+        warm = min((compile_many(corpus, jobs=jobs, cache=cache)
+                    for _ in range(repeats)), key=lambda r: r.elapsed_s)
+
+    all_ok = not (serial.error_count or cold.error_count or warm.error_count)
+    hit_rate = warm.cache_hits / len(corpus) if corpus else 0.0
+    speedup_vs_serial = serial.elapsed_s / warm.elapsed_s
+    speedup_vs_cold = cold.elapsed_s / warm.elapsed_s
+    return {
+        "schema": BATCH_SCHEMA,
+        "n_programs": n_programs,
+        "program_size": size,
+        "seed": seed,
+        "jobs": jobs,
+        "repeats": repeats,
+        "modes": {
+            "serial_uncached": _batch_mode_row(serial),
+            "parallel_cold": _batch_mode_row(cold),
+            "parallel_warm": _batch_mode_row(warm),
+        },
+        "warm_cache_hit_rate": hit_rate,
+        "speedup_warm_vs_serial_s": speedup_vs_serial,
+        "speedup_warm_vs_cold_s": speedup_vs_cold,
+        "all_ok": all_ok,
+        # the two --check gates: parallel must not lose to serial, and a
+        # fully warm cache must beat the cold run
+        "parallel_beats_serial": speedup_vs_serial >= 1.0,
+        "cache_gives_speedup": speedup_vs_cold > 1.0 and hit_rate > 0.0,
+    }
+
+
 def write_bench_json(path, report=None):
     """Write (and return) the payload; ``report=None`` measures fresh."""
     if report is None:
@@ -99,30 +189,73 @@ def write_bench_json(path, report=None):
 def main(argv=None):
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs.bench",
-        description="measure the solver's O(E) trajectory into "
-                    "BENCH_solver.json")
-    parser.add_argument("--output", default="BENCH_solver.json",
-                        help="where to write the JSON payload")
+        description="measure the solver's O(E) trajectory "
+                    "(BENCH_solver.json) or, with --batch, the batch "
+                    "layer's throughput (BENCH_batch.json)")
+    parser.add_argument("--output", default=None,
+                        help="where to write the JSON payload (default: "
+                             "BENCH_solver.json, or BENCH_batch.json "
+                             "with --batch)")
     parser.add_argument("--check", action="store_true",
-                        help="exit 1 when time per node grows beyond the "
-                             "tolerance or an equation count is off")
+                        help="exit 1 when the measured trajectory "
+                             "regresses (solver: super-linear growth; "
+                             "batch: parallel slower than serial, or a "
+                             "warm cache giving no speedup)")
     parser.add_argument("--sizes", type=int, nargs="+", default=list(SIZES))
-    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--repeats", type=int, default=None,
+                        help="timing repeats (default: 3 solver, 2 batch)")
+    parser.add_argument("--batch", action="store_true",
+                        help="measure batch compilation throughput "
+                             "instead of solver scaling")
+    parser.add_argument("--jobs", type=int, default=4,
+                        help="worker processes for --batch")
+    parser.add_argument("--programs", type=int, default=32,
+                        help="corpus size for --batch")
     args = parser.parse_args(argv)
+    if args.batch:
+        return _main_batch(args)
+    return _main_solver(args)
 
-    report = solver_scaling(sizes=tuple(args.sizes), repeats=args.repeats)
-    write_bench_json(args.output, report)
+
+def _main_solver(args):
+    output = args.output or "BENCH_solver.json"
+    repeats = 3 if args.repeats is None else args.repeats
+    report = solver_scaling(sizes=tuple(args.sizes), repeats=repeats)
+    write_bench_json(output, report)
     for row in report["rows"]:
         print(f"size={row['size']} nodes={row['nodes']} "
               f"per_node={row['time_per_node_s'] * 1e6:.1f}us "
               f"sweeps={row['consumption_sweeps']} "
               f"each_equation_once={row['each_equation_once']}")
-    print(f"wrote {args.output} "
+    print(f"wrote {output} "
           f"(linear_within_tolerance={report['linear_within_tolerance']})")
     if args.check and not (report["linear_within_tolerance"]
                            and report["each_equation_once"]):
         print("error: solver scaling regressed beyond tolerance",
               file=sys.stderr)
+        return 1
+    return 0
+
+
+def _main_batch(args):
+    output = args.output or "BENCH_batch.json"
+    repeats = 2 if args.repeats is None else args.repeats
+    report = batch_throughput(n_programs=args.programs, jobs=args.jobs,
+                              repeats=repeats)
+    write_bench_json(output, report)
+    for mode, row in report["modes"].items():
+        print(f"{mode}: {row['programs_per_second_s']:.1f} programs/s "
+              f"(jobs={row['jobs']}, hits={row['cache_hits']}, "
+              f"errors={row['errors']})")
+    print(f"wrote {output} "
+          f"(speedup warm vs serial uncached: "
+          f"{report['speedup_warm_vs_serial_s']:.2f}x, warm hit rate: "
+          f"{report['warm_cache_hit_rate']:.0%})")
+    if args.check and not (report["all_ok"]
+                           and report["parallel_beats_serial"]
+                           and report["cache_gives_speedup"]):
+        print("error: batch throughput regressed (parallel slower than "
+              "serial, or warm cache gives no speedup)", file=sys.stderr)
         return 1
     return 0
 

@@ -1,0 +1,104 @@
+"""PipelineCache: content addressing, snapshot semantics, persistence."""
+
+import pytest
+
+from repro.batch.cache import CACHE_SCHEMA, PipelineCache, source_fingerprint
+
+
+SOURCE = "program p\nend\n"
+
+
+def test_fingerprint_is_stable_and_content_addressed():
+    a = source_fingerprint(SOURCE, owner_computes=False)
+    b = source_fingerprint(SOURCE, owner_computes=False)
+    assert a == b
+    assert len(a) == 64  # sha256 hex
+
+
+def test_fingerprint_sensitive_to_text_and_options():
+    base = source_fingerprint(SOURCE, owner_computes=False)
+    assert source_fingerprint(SOURCE + " ", owner_computes=False) != base
+    assert source_fingerprint(SOURCE, owner_computes=True) != base
+    assert source_fingerprint(SOURCE) != base
+
+
+def test_fingerprint_ignores_option_order():
+    assert (source_fingerprint(SOURCE, a=1, b=2)
+            == source_fingerprint(SOURCE, b=2, a=1))
+
+
+def test_fingerprint_includes_schema():
+    # the schema string participates in the hash, so bumping it orphans
+    # old entries rather than deserializing a stale layout
+    assert CACHE_SCHEMA in ("repro-batch-cache/1",) or CACHE_SCHEMA
+    assert source_fingerprint(SOURCE) != source_fingerprint(CACHE_SCHEMA + SOURCE)
+
+
+def test_get_put_roundtrip_and_stats():
+    cache = PipelineCache()
+    key = cache.key(SOURCE, option=1)
+    assert cache.get("ns", key) is None
+    cache.put("ns", key, {"value": [1, 2, 3]})
+    assert cache.get("ns", key) == {"value": [1, 2, 3]}
+    stats = cache.stats()
+    assert stats["hits"] == 1 and stats["misses"] == 1 and stats["stores"] == 1
+    assert cache.hit_rate == 0.5
+
+
+def test_namespaces_are_isolated():
+    cache = PipelineCache()
+    key = cache.key(SOURCE)
+    cache.put("analyzed", key, "frontend")
+    assert cache.get("prepared", key) is None
+    assert cache.get("analyzed", key) == "frontend"
+
+
+def test_hits_return_fresh_copies():
+    # the defense against in-place mutation: every get materializes a
+    # private object graph, and put snapshots at store time
+    cache = PipelineCache()
+    key = cache.key(SOURCE)
+    state = {"body": ["stmt"]}
+    cache.put("ns", key, state)
+    state["body"].append("mutated-after-put")
+
+    first = cache.get("ns", key)
+    assert first == {"body": ["stmt"]}  # put-time snapshot, not live object
+    first["body"].append("mutated-after-get")
+    second = cache.get("ns", key)
+    assert second == {"body": ["stmt"]}
+    assert second is not first
+
+
+def test_disk_persistence_across_instances(tmp_path):
+    directory = str(tmp_path / "cache")
+    writer = PipelineCache(directory=directory)
+    key = writer.key(SOURCE, size=3)
+    writer.put("ns", key, ("solved", 42))
+
+    reader = PipelineCache(directory=directory)  # fresh process stand-in
+    assert len(reader) == 0
+    assert reader.get("ns", key) == ("solved", 42)
+    assert reader.hits == 1
+
+
+def test_memory_eviction_keeps_disk_entries(tmp_path):
+    cache = PipelineCache(directory=str(tmp_path), max_memory_entries=2)
+    keys = [cache.key(f"{SOURCE}{i}") for i in range(4)]
+    for i, key in enumerate(keys):
+        cache.put("ns", key, i)
+    assert len(cache) == 2  # FIFO-evicted down to the bound
+    # evicted entries still hit through the disk layer
+    assert cache.get("ns", keys[0]) == 0
+
+
+def test_clear_resets_memory_and_counters(tmp_path):
+    cache = PipelineCache(directory=str(tmp_path))
+    key = cache.key(SOURCE)
+    cache.put("ns", key, 1)
+    cache.get("ns", key)
+    cache.clear()
+    assert len(cache) == 0
+    assert cache.stats()["hits"] == 0 and cache.stats()["stores"] == 0
+    # on-disk entries survive clear()
+    assert cache.get("ns", key) == 1

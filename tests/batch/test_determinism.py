@@ -1,0 +1,103 @@
+"""The batch equivalence suite: cached, parallel compilation must be
+observably identical to serial uncached compilation.
+
+Two properties are pinned down over a generator corpus:
+
+* **Byte equality** — annotated sources and placement counts from
+  ``compile_many(jobs=N, cache=...)`` (cold and warm) match a serial
+  uncached run exactly.
+* **Trace equality** — ``stable_form`` traces (wall-clock fields
+  stripped) are equal too: a cache hit replays the stored prepare-phase
+  trace, so warmth is invisible to trace consumers.
+
+Plus the mutation regression the cache exists for: annotating a cached
+program must never leak spliced READ/WRITE statements back into the
+cache (see ``docs/scaling.md``).
+"""
+
+import pytest
+
+from repro.batch import BatchOptions, PipelineCache, compile_many, compile_one
+from repro.batch.driver import PREPARED_NAMESPACE
+from repro.lang import ast
+from repro.obs.bench import batch_corpus
+from repro.testing.programs import FIG11_SOURCE
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    """A small deterministic generator corpus with real array traffic."""
+    return batch_corpus(n_programs=6, size=10, seed=3)
+
+
+def observable(result):
+    """Everything a batch consumer can see, minus wall-clock noise."""
+    return [(p.name, p.ok, p.annotated_source, p.reads, p.writes, p.trace)
+            for p in result.programs]
+
+
+def test_serial_cached_equals_serial_uncached(corpus):
+    options = BatchOptions(trace=True)
+    baseline = compile_many(corpus, jobs=1, options=options)
+    cache = PipelineCache()
+    cold = compile_many(corpus, jobs=1, cache=cache, options=options)
+    warm = compile_many(corpus, jobs=1, cache=cache, options=options)
+    assert warm.cache_hits == len(corpus)
+    assert observable(cold) == observable(baseline)
+    assert observable(warm) == observable(baseline)
+
+
+def test_parallel_cached_equals_serial_uncached(corpus, tmp_path):
+    options = BatchOptions(trace=True)
+    baseline = compile_many(corpus, jobs=1, options=options)
+    cache = PipelineCache(directory=str(tmp_path))
+    cold = compile_many(corpus, jobs=2, cache=cache, options=options)
+    warm = compile_many(corpus, jobs=2, cache=cache, options=options)
+    assert observable(cold) == observable(baseline)
+    assert observable(warm) == observable(baseline)
+    assert warm.cache_hits == len(corpus)
+
+
+def test_repeated_runs_are_deterministic(corpus):
+    first = compile_many(corpus, jobs=1)
+    second = compile_many(corpus, jobs=1)
+    assert observable(first) == observable(second)
+
+
+# -- the mutation regression ------------------------------------------------
+
+
+def comm_statements(program):
+    return [s for s in ast.walk_statements(program.body)
+            if isinstance(s, ast.Comm)]
+
+
+def test_cache_never_serves_a_mutated_ast():
+    """Annotation splices READ/WRITE statements into the analyzed AST in
+    place; a cache that handed out the live object would make the second
+    compile see the first compile's communication as real code."""
+    cache = PipelineCache()
+    first = compile_one("fig11", FIG11_SOURCE, cache=cache)
+    second = compile_one("fig11", FIG11_SOURCE, cache=cache)
+    assert second.cache_hit
+    # byte-identical output — no doubled or shifted communication
+    assert second.annotated_source == first.annotated_source
+    assert (second.reads, second.writes) == (first.reads, first.writes)
+    # the stored snapshot is still pristine: no Comm statements leaked in
+    key = cache.key(FIG11_SOURCE, trace=False,
+                    **BatchOptions().prepare_kwargs())
+    entry = cache.get(PREPARED_NAMESPACE, key)
+    assert entry is not None
+    assert comm_statements(entry["prepared"].analyzed.program) == []
+
+
+def test_many_reuses_stay_pristine(corpus):
+    cache = PipelineCache()
+    runs = [compile_many(corpus, jobs=1, cache=cache) for _ in range(3)]
+    baseline = observable(runs[0])
+    for run in runs[1:]:
+        assert observable(run) == baseline
+    # reads/writes stable across reuses proves no accumulation
+    counts = [(p.reads, p.writes) for p in runs[0].programs]
+    assert all(c != (0, 0) for c in counts) or counts  # corpus has traffic
+    assert [(p.reads, p.writes) for p in runs[2].programs] == counts

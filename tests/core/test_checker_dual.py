@@ -1,0 +1,78 @@
+"""check_placement_dual: one enumeration, both min-trip verdicts.
+
+The hot-path fix in ``_solve_write`` replaced two ``check_placement``
+calls (one per ``min_trips`` value) with one ``check_placement_dual``
+call that enumerates and replays paths once.  These tests pin the dual
+report to the two single reports it replaced.
+"""
+
+from repro.core import Problem, check_placement, solve
+from repro.core.checker import check_placement_dual
+from repro.core.placement import Placement
+from repro.testing.generator import random_analyzed_program, random_problem
+from repro.testing.programs import FIG11_SOURCE, analyze_source
+
+
+def report_key(report):
+    return (sorted((v.kind, v.criterion, str(v.node), str(v.element))
+                   for v in report.violations),
+            report.paths_checked, report.truncated)
+
+
+def solved_placement(analyzed, problem):
+    solution = solve(analyzed.ifg, problem)
+    return Placement(analyzed.ifg, problem, solution)
+
+
+def solved_instance(source):
+    analyzed = analyze_source(source)
+    problem = Problem()
+    problem.add_take(analyzed.node_named("u ="), "x1")
+    return analyzed, problem, solved_placement(analyzed, problem)
+
+
+def assert_dual_matches_single(analyzed, problem, placement, max_paths=200):
+    full, min_trip = check_placement_dual(analyzed.ifg, problem, placement,
+                                          max_paths=max_paths)
+    single_full = check_placement(analyzed.ifg, problem, placement,
+                                  max_paths=max_paths, min_trips=0)
+    assert report_key(full) == report_key(single_full)
+    if not full.truncated:
+        single_trip = check_placement(analyzed.ifg, problem, placement,
+                                      max_paths=max_paths, min_trips=1)
+        assert report_key(min_trip) == report_key(single_trip)
+
+
+def test_dual_matches_single_on_branchy_program():
+    assert_dual_matches_single(
+        *solved_instance("if t then\na = 1\nelse\nb = 2\nendif\nu = x(1)"))
+
+
+def test_dual_matches_single_on_loops():
+    assert_dual_matches_single(*solved_instance(
+        "do i = 1, n\na = x(i)\nenddo\nu = x(1)"))
+
+
+def test_dual_matches_single_on_fig11():
+    analyzed = analyze_source(FIG11_SOURCE)
+    problem = Problem()
+    problem.add_take(analyzed.node_named("... = x(k + 10)"), "x1")
+    assert_dual_matches_single(analyzed, problem,
+                               solved_placement(analyzed, problem))
+
+
+def test_dual_matches_single_on_random_instances():
+    for seed in range(6):
+        analyzed = random_analyzed_program(seed, size=20, max_depth=3)
+        problem = random_problem(analyzed, seed=seed, n_elements=4)
+        assert_dual_matches_single(analyzed, problem,
+                                   solved_placement(analyzed, problem),
+                                   max_paths=120)
+
+
+def test_min_trip_report_is_a_path_subset():
+    analyzed, problem, placement = solved_instance(
+        "do i = 1, n\na = x(i)\nenddo\nu = x(1)")
+    full, min_trip = check_placement_dual(analyzed.ifg, problem, placement)
+    assert min_trip.paths_checked <= full.paths_checked
+    assert len(min_trip.violations) <= len(full.violations)

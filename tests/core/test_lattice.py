@@ -74,3 +74,76 @@ def test_hashable_elements_of_any_type():
     universe.add(("array", 3))
     universe.add(42)
     assert universe.bits([("array", 3), 42]) == 0b11
+
+
+def test_members_sparse_bitsets():
+    # the set-bit iteration must see exactly the set bits, in universe
+    # order, including the highest element and gaps
+    universe = Universe([f"e{i}" for i in range(70)])
+    bits = universe.bits(["e0", "e13", "e69"])
+    assert universe.members(bits) == ["e0", "e13", "e69"]
+    assert universe.members(0) == []
+    assert universe.members(universe.bit("e69")) == ["e69"]
+    assert universe.members(universe.top) == [f"e{i}" for i in range(70)]
+
+
+def test_members_matches_naive_shift_loop():
+    universe = Universe(list("abcdefgh"))
+    for bits in range(1 << len(universe)):
+        naive, index, rest = [], 0, bits
+        while rest:
+            if rest & 1:
+                naive.append(universe.element(index))
+            rest >>= 1
+            index += 1
+        assert universe.members(bits) == naive
+
+
+# -- freeze: late interning must fail loudly --------------------------------
+
+def test_freeze_blocks_new_elements():
+    universe = Universe(["a", "b"])
+    top_before = universe.top
+    universe.freeze()
+    with pytest.raises(SolverError):
+        universe.add("c")
+    # existing bitsets were not invalidated
+    assert universe.top == top_before
+    assert len(universe) == 2
+
+
+def test_freeze_allows_existing_elements():
+    universe = Universe(["a", "b"]).freeze()
+    assert universe.add("a") == 0  # idempotent re-intern is fine
+    assert universe.bit("b") == 2
+    assert universe.is_frozen
+
+
+def test_freeze_is_idempotent_and_chains():
+    universe = Universe(["a"])
+    assert universe.freeze() is universe
+    assert universe.freeze() is universe
+
+
+def test_problem_freeze_rejects_late_take():
+    from repro.core.problem import Problem
+
+    problem = Problem()
+    node = object()
+    problem.add_take(node, "x")
+    problem.freeze()
+    with pytest.raises(SolverError):
+        problem.add_take(node, "brand-new")
+    # known elements can still be referenced at new nodes
+    problem.add_steal(object(), "x")
+
+
+def test_pipeline_problems_are_frozen():
+    from repro.commgen.pipeline import prepare_communication
+    from repro.testing.programs import FIG11_SOURCE
+
+    prepared = prepare_communication(FIG11_SOURCE)
+    assert prepared.read_problem.universe.is_frozen
+    assert prepared.write_problem.universe.is_frozen
+    with pytest.raises(SolverError):
+        prepared.read_problem.universe.add("late-element")

@@ -294,3 +294,83 @@ def test_stdin_input(monkeypatch):
     code, output = run(["graph", "-"])
     assert code == 0
     assert "u = 1" in output
+
+
+# -- batch compilation -------------------------------------------------------
+
+@pytest.fixture
+def corpus_dir(tmp_path):
+    directory = tmp_path / "corpus"
+    directory.mkdir()
+    (directory / "fig11.f").write_text(FIG11_SOURCE)
+    (directory / "tiny.f").write_text("real x(10)\ndistribute x(block)\n"
+                                      "u = x(1)\n")
+    (directory / "notes.txt").write_text("not a program")  # must be skipped
+    return str(directory)
+
+
+def test_batch_directory(corpus_dir):
+    code, output = run(["batch", corpus_dir])
+    assert code == 0
+    assert "fig11.f: reads=" in output
+    assert "tiny.f: reads=" in output
+    assert "notes.txt" not in output
+    assert "2/2 programs ok" in output
+
+
+def test_batch_warm_cache_marks_hits(tmp_path, corpus_dir):
+    cache_dir = str(tmp_path / "cache")
+    code, cold = run(["batch", corpus_dir, "--cache", cache_dir])
+    assert code == 0 and "[cached]" not in cold
+    code, warm = run(["batch", corpus_dir, "--cache", cache_dir])
+    assert code == 0
+    assert warm.count("[cached]") == 2
+    assert "cache hits=2" in warm
+
+
+def test_batch_exit_code_on_per_program_failure(tmp_path, corpus_dir):
+    import os
+    path = os.path.join(corpus_dir, "bad.f")
+    with open(path, "w") as handle:
+        handle.write("do i = 1, n\n")  # missing enddo
+    code, output = run(["batch", corpus_dir])
+    assert code == 1  # per-program failure, not a CLI error
+    assert "bad.f: error:" in output
+    assert "2/3 programs ok" in output
+    assert "fig11.f: reads=" in output  # the rest still compiled
+
+
+def test_batch_quiet_prints_only_summary(corpus_dir):
+    code, output = run(["batch", corpus_dir, "--quiet"])
+    assert code == 0
+    assert output.count("\n") == 1
+    assert "programs ok" in output
+
+
+def test_batch_json(corpus_dir):
+    import json
+    code, output = run(["batch", corpus_dir, "--json", "--no-cache"])
+    assert code == 0
+    payload = json.loads(output)
+    assert payload["ok"] == 2
+    assert payload["cache"] is None
+    assert {p["name"].rsplit("/", 1)[-1] for p in payload["programs"]} == \
+        {"fig11.f", "tiny.f"}
+
+
+def test_batch_hardened_reports_rung(corpus_dir):
+    code, output = run(["batch", corpus_dir, "--hardened"])
+    assert code == 0
+    assert output.count("[rung=balanced]") == 2
+
+
+def test_batch_explicit_files(fig11_file):
+    code, output = run(["batch", fig11_file, "--jobs", "2"])
+    assert code == 0
+    assert "1/1 programs ok" in output
+
+
+def test_batch_empty_directory_error_hygiene(capsys, tmp_path):
+    empty = tmp_path / "empty"
+    empty.mkdir()
+    assert_clean_failure(capsys, ["batch", str(empty)])
