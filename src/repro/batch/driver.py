@@ -54,6 +54,7 @@ PREPARE_DEFAULTS = {
     "max_splits": None,
     "check_paths": 150,
     "solver_rounds": None,
+    "solver_backend": None,
 }
 
 
@@ -264,6 +265,7 @@ def _compile_hardened(name, text, options):
         budget=budget,
         owner_computes=options.prepare_kwargs()["owner_computes"],
         split_messages=options.split_messages,
+        solver_backend=options.prepare_kwargs()["solver_backend"],
     )
     if options.trace:
         with tracing() as collector:

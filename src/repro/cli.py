@@ -99,6 +99,7 @@ def build_parser():
     annotate.add_argument("--hardened", action="store_true",
                           help="self-checking pipeline: validate the "
                                "placement and degrade instead of failing")
+    add_solver_backend_argument(annotate)
     add_trace_arguments(annotate)
 
     graph = commands.add_parser("graph", help="show the interval flow graph")
@@ -145,6 +146,7 @@ def build_parser():
     profile.add_argument("--hardened", action="store_true",
                          help="profile the self-checking pipeline "
                               "(rung decisions, budget consumption)")
+    add_solver_backend_argument(profile)
 
     pre = commands.add_parser("pre", help="compare PRE placements")
     pre.add_argument("file")
@@ -175,6 +177,7 @@ def build_parser():
                             "every annotated source)")
     batch.add_argument("--quiet", action="store_true",
                        help="summary line only, no per-program lines")
+    add_solver_backend_argument(batch)
 
     explain = commands.add_parser(
         "explain", help="dataflow report for the communication problems")
@@ -182,6 +185,14 @@ def build_parser():
     explain.add_argument("--problem", choices=["read", "write", "both"],
                          default="both")
     return parser
+
+
+def add_solver_backend_argument(parser):
+    parser.add_argument("--solver-backend", choices=["planned", "reference"],
+                        default=None, metavar="BACKEND",
+                        help="solver kernel: 'planned' (compiled "
+                             "schedules, the default) or 'reference' "
+                             "(per-equation oracle); see docs/scaling.md")
 
 
 def add_trace_arguments(parser):
@@ -226,7 +237,8 @@ def command_annotate(args, out):
 def _annotate(args, out):
     if args.hardened:
         pipeline = HardenedPipeline(owner_computes=args.owner_computes,
-                                    split_messages=not args.atomic)
+                                    split_messages=not args.atomic,
+                                    solver_backend=args.solver_backend)
         hardened = pipeline.run(read_source(args.file))
         out.write(hardened.annotated_source())
         out.write(f"! {hardened.report.summary()}\n")
@@ -237,6 +249,7 @@ def _annotate(args, out):
         split_messages=not args.atomic,
         hoist_zero_trip=not args.no_hoist,
         after_jumps="conservative" if args.conservative_jumps else "optimistic",
+        solver_backend=args.solver_backend,
     )
     out.write(result.annotated_source())
     reads, writes = result.communication_count()
@@ -295,6 +308,7 @@ def command_profile(args, out):
         run_simulation=args.simulate,
         bindings={"n": args.n},
         policy=ConditionPolicy("always"),
+        solver_backend=args.solver_backend,
     )
     if args.json:
         out.write(to_json(payload))
@@ -355,7 +369,8 @@ def command_batch(args, out):
     options = BatchOptions(
         hardened=args.hardened,
         split_messages=not args.atomic,
-        pipeline={"owner_computes": args.owner_computes},
+        pipeline={"owner_computes": args.owner_computes,
+                  "solver_backend": args.solver_backend},
     )
     result = compile_many(sources, jobs=args.jobs, cache=cache,
                           options=options)

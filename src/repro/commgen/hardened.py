@@ -22,6 +22,13 @@ Irreducible graphs do not raise
 §3.3 node splitting (within the budget) and the repair is recorded.
 Which rung was chosen and *why* every higher rung was rejected is
 returned as a structured :class:`DegradationReport`.
+
+The solver backend is part of the ladder too: a solver rung that fails
+under the (default) planned kernel is retried once with the
+``"reference"`` backend before the pipeline steps down a rung — the
+two backends are bit-identical by contract, so the retry is pure
+defense in depth against a kernel-layer fault, and every
+:class:`RungAttempt` records which backend produced it.
 """
 
 from dataclasses import dataclass, field
@@ -30,6 +37,7 @@ from typing import Optional
 from repro.commgen.naive import naive_communication
 from repro.commgen.pipeline import generate_communication
 from repro.core.checker import check_placement
+from repro.core.solver import DEFAULT_BACKEND
 from repro.lang.printer import format_program
 from repro.obs.collector import current_collector
 from repro.util.errors import IrreducibleGraphError, ReproError
@@ -69,10 +77,16 @@ class RungAttempt:
     checks: dict = field(default_factory=dict)
     #: whether any certification check hit the path cap
     truncated: bool = False
+    #: solver backend this attempt ran with (None for the naive rung,
+    #: which never invokes the solver)
+    backend: Optional[str] = None
 
     def __str__(self):
         state = "ok" if self.ok else f"failed: {self.reason}"
-        return f"{self.rung}: {state}"
+        rung = self.rung
+        if self.backend and self.backend != DEFAULT_BACKEND:
+            rung = f"{rung}[{self.backend}]"
+        return f"{rung}: {state}"
 
 
 @dataclass
@@ -111,7 +125,8 @@ class DegradationReport:
             "truncated": self.truncated,
             "attempts": [
                 {"rung": a.rung, "ok": a.ok, "reason": a.reason,
-                 "truncated": a.truncated, "checks": dict(a.checks)}
+                 "truncated": a.truncated, "backend": a.backend,
+                 "checks": dict(a.checks)}
                 for a in self.attempts
             ],
         }
@@ -157,10 +172,13 @@ class HardenedPipeline:
     placement, and degrade instead of raising (module docstring)."""
 
     def __init__(self, budget=None, owner_computes=False,
-                 split_messages=True):
+                 split_messages=True, solver_backend=None):
         self.budget = budget if budget is not None else ResourceBudget()
         self.owner_computes = owner_computes
         self.split_messages = split_messages
+        #: primary solver backend (None = the solver default); a solver
+        #: rung that fails with it is retried once with "reference"
+        self.solver_backend = solver_backend
 
     def run(self, source):
         """Compile ``source`` down the ladder; return a
@@ -175,46 +193,61 @@ class HardenedPipeline:
         text = source if isinstance(source, str) else format_program(source)
         report = DegradationReport(rung=RUNGS[-1], reason=None)
 
+        primary = (self.solver_backend if self.solver_backend is not None
+                   else DEFAULT_BACKEND)
         for rung in RUNGS:
-            attempt, result = self._attempt(rung, text, report)
-            report.attempts.append(attempt)
-            if obs.enabled:
-                obs.event("hardened", "rung_attempt", rung=attempt.rung,
-                          ok=attempt.ok, reason=attempt.reason,
-                          truncated=attempt.truncated,
-                          checks=dict(attempt.checks))
-                obs.count("hardened", "rung_attempts")
-            if attempt.ok:
-                report.rung = rung
-                if rung != RUNGS[0]:
-                    failed = report.attempts[0]
-                    report.reason = f"{failed.rung} rejected: {failed.reason}"
+            if rung == "naive":
+                # No solver below this rung — backend is irrelevant.
+                backends = (None,)
+            elif primary != "reference":
+                # Extra degradation step: retry the same rung on the
+                # reference solver before giving the rung up.
+                backends = (primary, "reference")
+            else:
+                backends = (primary,)
+            for backend in backends:
+                attempt, result = self._attempt(rung, text, report, backend)
+                report.attempts.append(attempt)
                 if obs.enabled:
-                    obs.event("hardened", "result", rung=report.rung,
-                              degraded=report.degraded,
-                              reason=report.reason,
-                              split_irreducible=report.split_irreducible,
-                              splits=len(report.splits),
-                              truncated=report.truncated,
-                              budget_check_paths=self.budget.check_paths,
-                              budget_solver_rounds=self.budget.solver_rounds)
-                return HardenedResult(result, report)
+                    obs.event("hardened", "rung_attempt", rung=attempt.rung,
+                              ok=attempt.ok, reason=attempt.reason,
+                              truncated=attempt.truncated,
+                              backend=attempt.backend,
+                              checks=dict(attempt.checks))
+                    obs.count("hardened", "rung_attempts")
+                if attempt.ok:
+                    report.rung = rung
+                    if rung != RUNGS[0]:
+                        failed = report.attempts[0]
+                        report.reason = (f"{failed.rung} rejected: "
+                                         f"{failed.reason}")
+                    if obs.enabled:
+                        obs.event("hardened", "result", rung=report.rung,
+                                  degraded=report.degraded,
+                                  reason=report.reason,
+                                  backend=attempt.backend,
+                                  split_irreducible=report.split_irreducible,
+                                  splits=len(report.splits),
+                                  truncated=report.truncated,
+                                  budget_check_paths=self.budget.check_paths,
+                                  budget_solver_rounds=self.budget.solver_rounds)
+                    return HardenedResult(result, report)
         # Unreachable: the naive rung accepts whatever the frontend
         # accepted, and frontend errors were re-raised in _attempt.
         raise AssertionError("degradation ladder exhausted")
 
     # -- rungs ---------------------------------------------------------------
 
-    def _attempt(self, rung, text, report):
-        attempt = RungAttempt(rung=rung, ok=False)
+    def _attempt(self, rung, text, report, backend=None):
+        attempt = RungAttempt(rung=rung, ok=False, backend=backend)
         try:
-            result = self._build(rung, text, report)
+            result = self._build(rung, text, report, backend)
         except IrreducibleGraphError:
             # First contact with irreducible flow: repair and retry the
             # same rung with splitting enabled (recorded on the report).
             report.split_irreducible = True
             try:
-                result = self._build(rung, text, report)
+                result = self._build(rung, text, report, backend)
             except ReproError as error:
                 attempt.reason = f"{type(error).__name__}: {error}"
                 return attempt, None
@@ -226,7 +259,7 @@ class HardenedPipeline:
         attempt.ok = self._certify(rung, result, attempt)
         return attempt, result if attempt.ok else None
 
-    def _build(self, rung, text, report):
+    def _build(self, rung, text, report, backend=None):
         budget = self.budget
         if rung == "naive":
             return naive_communication(
@@ -244,6 +277,7 @@ class HardenedPipeline:
             max_splits=budget.max_splits,
             check_paths=budget.check_paths,
             solver_rounds=budget.solver_rounds,
+            solver_backend=backend,
         )
         if report.split_irreducible and not report.splits:
             report.splits = [
@@ -295,8 +329,9 @@ class HardenedPipeline:
 
 
 def harden_communication(source, budget=None, owner_computes=False,
-                         split_messages=True):
+                         split_messages=True, solver_backend=None):
     """Convenience wrapper around :class:`HardenedPipeline`."""
     pipeline = HardenedPipeline(budget=budget, owner_computes=owner_computes,
-                                split_messages=split_messages)
+                                split_messages=split_messages,
+                                solver_backend=solver_backend)
     return pipeline.run(source)

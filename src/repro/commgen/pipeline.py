@@ -90,7 +90,7 @@ def prepare_communication(source, owner_computes=False, postpass=True,
                           hoist_zero_trip=True, after_jumps="optimistic",
                           refine_sections=True, split_irreducible=False,
                           max_splits=None, check_paths=150,
-                          solver_rounds=None):
+                          solver_rounds=None, solver_backend=None):
     """Run everything up to (but excluding) annotation; return a
     :class:`PreparedCommunication`.
 
@@ -98,6 +98,11 @@ def prepare_communication(source, owner_computes=False, postpass=True,
     analyzed :class:`~repro.testing.programs.AnalyzedProgram` (the batch
     layer reuses cached frontends this way).  Parameter semantics match
     :func:`generate_communication`.
+
+    All solves on one graph — the READ solve and up to two WRITE solves
+    — share one forward and one backward compiled
+    :class:`~repro.core.kernel.plan.SolverPlan` (cached on the graph, so
+    it also survives into the batch layer's pipeline-cache snapshots).
     """
     if isinstance(source, AnalyzedProgram):
         analyzed = source
@@ -114,7 +119,8 @@ def prepare_communication(source, owner_computes=False, postpass=True,
                                       refine=refine_sections)
     read_problem.hoist_zero_trip = hoist_zero_trip
     read_problem.freeze()
-    read_solution = solve(analyzed.ifg, read_problem, max_rounds=solver_rounds)
+    read_solution = solve(analyzed.ifg, read_problem, max_rounds=solver_rounds,
+                          backend=solver_backend)
     read_placement = Placement(analyzed.ifg, read_problem, read_solution)
 
     if postpass:
@@ -126,7 +132,8 @@ def prepare_communication(source, owner_computes=False, postpass=True,
     write_problem.hoist_zero_trip = hoist_zero_trip
     write_problem.freeze()
     write_solution, write_placement = _solve_write(
-        analyzed, write_problem, after_jumps, check_paths, solver_rounds)
+        analyzed, write_problem, after_jumps, check_paths, solver_rounds,
+        solver_backend)
 
     if postpass:
         shift_synthetic_productions(write_placement)
@@ -168,7 +175,8 @@ def generate_communication(source, owner_computes=False, split_messages=True,
                            postpass=True, hoist_zero_trip=True,
                            after_jumps="optimistic", refine_sections=True,
                            split_irreducible=False, max_splits=None,
-                           check_paths=150, solver_rounds=None):
+                           check_paths=150, solver_rounds=None,
+                           solver_backend=None):
     """Compile ``source`` (mini-Fortran text or a parsed Program) into an
     annotated program with balanced READ/WRITE placement.
 
@@ -197,7 +205,10 @@ def generate_communication(source, owner_computes=False, split_messages=True,
     * ``check_paths`` — path-enumeration cap for the optimistic-mode
       certification checker;
     * ``solver_rounds`` — iteration guard on the solver's backward
-      consumption fixpoint (see :func:`repro.core.solver.solve`).
+      consumption fixpoint (see :func:`repro.core.solver.solve`);
+    * ``solver_backend`` — ``"planned"`` (compiled schedules, the
+      default) or ``"reference"`` (the original per-equation solver);
+      both are bit-identical (``docs/scaling.md``).
     """
     prepared = prepare_communication(
         source,
@@ -210,21 +221,22 @@ def generate_communication(source, owner_computes=False, split_messages=True,
         max_splits=max_splits,
         check_paths=check_paths,
         solver_rounds=solver_rounds,
+        solver_backend=solver_backend,
     )
     return annotate_prepared(prepared, split_messages=split_messages)
 
 
 def _solve_write(analyzed, write_problem, after_jumps, check_paths=150,
-                 solver_rounds=None):
+                 solver_rounds=None, solver_backend=None):
     """Solve the AFTER problem per the requested jump treatment."""
     from repro.core.checker import check_placement_dual
-    from repro.graph.views import BackwardView
+    from repro.graph.views import cached_view
 
     has_jumps = bool(analyzed.ifg.jump_edges())
     if after_jumps == "optimistic" and has_jumps and write_problem.annotated_nodes():
-        view = BackwardView(analyzed.ifg, blocked=False)
+        view = cached_view(analyzed.ifg, "after", blocked=False)
         solution = solve(analyzed.ifg, write_problem, view=view,
-                         max_rounds=solver_rounds)
+                         max_rounds=solver_rounds, backend=solver_backend)
         placement = Placement(analyzed.ifg, write_problem, solution)
         # One path enumeration and replay serves both verdicts: balance
         # over all bounded paths, sufficiency over the min-trip subset
@@ -236,5 +248,6 @@ def _solve_write(analyzed, write_problem, after_jumps, check_paths=150,
         sufficient = min_trip.ok(ignore=("safety", "redundant"))
         if balanced and sufficient:
             return solution, placement
-    solution = solve(analyzed.ifg, write_problem, max_rounds=solver_rounds)
+    solution = solve(analyzed.ifg, write_problem, max_rounds=solver_rounds,
+                     backend=solver_backend)
     return solution, Placement(analyzed.ifg, write_problem, solution)

@@ -1,0 +1,72 @@
+"""Slot-indexed solution storage for the planned backend.
+
+A :class:`SlotSolution` stores each of the fifteen variables as one
+flat ``list[int]`` bitset column indexed by plan slot, instead of the
+reference :class:`~repro.core.solution.Solution`'s dict-of-dicts.  The
+public API (``bits`` / ``set_bits`` / ``elements`` / ``nodes_with`` /
+``format_node``) is identical, so placements, reports and tests consume
+either interchangeably; the planned solver's sweeps additionally grab
+whole columns via :meth:`column` and index them by slot directly.
+"""
+
+from repro.core.problem import Timing
+from repro.core.solution import SHARED_VARIABLES, TIMED_VARIABLES
+
+
+class SlotSolution:
+    """All dataflow variables of one solved instance, as slot columns."""
+
+    def __init__(self, problem, view, plan):
+        self.problem = problem
+        self.view = view
+        self.plan = plan
+        n = plan.n
+        self._shared = {name: [0] * n for name in SHARED_VARIABLES}
+        self._timed = {
+            timing: {name: [0] * n for name in TIMED_VARIABLES}
+            for timing in Timing
+        }
+
+    def _store(self, name, timing):
+        if name in self._shared:
+            return self._shared[name]
+        if timing is None:
+            raise KeyError(f"variable {name} requires a timing")
+        return self._timed[timing][name]
+
+    def column(self, name, timing=None):
+        """The raw slot-indexed bitset column (the solver's hot path)."""
+        return self._store(name, timing)
+
+    def set_bits(self, name, node, bits, timing=None):
+        self._store(name, timing)[self.plan.slot_of[node]] = bits
+
+    def bits(self, name, node, timing=None):
+        """Bitset value of variable ``name`` at ``node``."""
+        slot = self.plan.slot_of.get(node)
+        if slot is None:
+            return 0
+        return self._store(name, timing)[slot]
+
+    def elements(self, name, node, timing=None):
+        """Value as a frozenset of universe elements (for tests/printing)."""
+        return self.problem.universe.frozen(self.bits(name, node, timing))
+
+    def nodes_with(self, name, element, timing=None):
+        """All nodes whose variable ``name`` contains ``element``."""
+        bit = self.problem.universe.bit(element)
+        store = self._store(name, timing)
+        return [node for node, bits in zip(self.plan.nodes, store)
+                if bits & bit]
+
+    def format_node(self, node, timing=None):
+        """Multi-line dump of every variable at ``node`` (debugging)."""
+        universe = self.problem.universe
+        lines = [f"node {node}:"]
+        for name in SHARED_VARIABLES:
+            lines.append(f"  {name:10} = {universe.format(self.bits(name, node))}")
+        for t in Timing if timing is None else (timing,):
+            for name in TIMED_VARIABLES:
+                value = universe.format(self.bits(name, node, t))
+                lines.append(f"  {name}^{t.value:5} = {value}")
+        return "\n".join(lines)

@@ -28,11 +28,20 @@ hot path only pays an ``is None`` test per equation.
 """
 
 from repro.core import equations as eq
+from repro.core.kernel.planned import PlannedSolver
 from repro.core.problem import Direction, Timing
 from repro.core.solution import Solution
-from repro.graph.views import BackwardView, ForwardView
+from repro.graph.views import cached_view
 from repro.obs.collector import current_collector
 from repro.util.errors import SolverBudgetError, SolverError
+
+#: Backend :func:`solve` uses when none is requested.  ``"planned"``
+#: runs the compiled-schedule kernel (``repro.core.kernel``);
+#: ``"reference"`` runs :class:`GiveNTakeSolver`, the differential
+#: oracle.  Both are bit-identical for all fifteen variables.
+DEFAULT_BACKEND = "planned"
+
+BACKENDS = ("planned", "reference")
 
 
 class GiveNTakeSolver:
@@ -103,6 +112,7 @@ class GiveNTakeSolver:
             obs.event(
                 "solver", "run",
                 direction=self.view.direction,
+                backend="reference",
                 nodes=len(self.view.nodes_preorder()),
                 consumption_sweeps=self._consumption_sweeps,
                 rounds=self._consumption_sweeps - 1,
@@ -209,10 +219,14 @@ class GiveNTakeSolver:
         sweep_start = obs.clock() if obs.enabled else 0.0
         view, problem, sol = self.view, self.problem, self.solution
         root = view.root
-        for n in view.nodes_preorder():
-            if counts is not None:
-                for number in (11, 12, 13):
-                    counts[number] = counts.get(number, 0) + 1
+        nodes = view.nodes_preorder()
+        if counts is not None:
+            # S3 evaluates each equation exactly once per node, so the
+            # per-equation totals are uniform: add them per sweep, not
+            # per node (identical reported counts, no dict get per node).
+            for number in (11, 12, 13):
+                counts[number] = counts.get(number, 0) + len(nodes)
+        for n in nodes:
             sol.set_bits(
                 "GIVEN_in", n, eq.eq11_given_in(problem, view, sol, n, timing), timing
             )
@@ -233,10 +247,11 @@ class GiveNTakeSolver:
         counts = self._eq_counts
         sweep_start = obs.clock() if obs.enabled else 0.0
         view, problem, sol = self.view, self.problem, self.solution
-        for n in view.nodes_preorder():
-            if counts is not None:
-                for number in (14, 15):
-                    counts[number] = counts.get(number, 0) + 1
+        nodes = view.nodes_preorder()
+        if counts is not None:
+            for number in (14, 15):
+                counts[number] = counts.get(number, 0) + len(nodes)
+        for n in nodes:
             sol.set_bits(
                 "RES_in", n, eq.eq14_res_in(problem, view, sol, n, timing), timing
             )
@@ -251,22 +266,32 @@ class GiveNTakeSolver:
 
 
 def make_view(ifg, direction):
-    """The view matching a problem direction."""
+    """The (per-graph cached) view matching a problem direction."""
     if direction is Direction.BEFORE:
-        return ForwardView(ifg)
+        return cached_view(ifg, "before")
     if direction is Direction.AFTER:
-        return BackwardView(ifg)
+        return cached_view(ifg, "after")
     raise SolverError(f"unknown direction {direction!r}")
 
 
-def solve(ifg, problem, view=None, max_rounds=None):
+def solve(ifg, problem, view=None, max_rounds=None, backend=None):
     """Solve ``problem`` on interval flow graph ``ifg``.
 
-    Returns the :class:`~repro.core.solution.Solution` holding all
-    dataflow variables, including the EAGER and LAZY result variables.
+    Returns the solution store holding all dataflow variables, including
+    the EAGER and LAZY result variables: a
+    :class:`~repro.core.kernel.slots.SlotSolution` from the (default)
+    ``"planned"`` backend, a :class:`~repro.core.solution.Solution` from
+    the ``"reference"`` backend — same ``bits``/``elements``/
+    ``nodes_with`` API, bit-identical values (``docs/scaling.md``).
     ``max_rounds`` caps the backward consumption iteration (see
     :class:`GiveNTakeSolver`); the default is the natural bound.
     """
     if view is None:
         view = make_view(ifg, problem.direction)
-    return GiveNTakeSolver(view, problem, max_rounds=max_rounds).run()
+    if backend is None:
+        backend = DEFAULT_BACKEND
+    if backend == "planned":
+        return PlannedSolver(view, problem, max_rounds=max_rounds).run()
+    if backend == "reference":
+        return GiveNTakeSolver(view, problem, max_rounds=max_rounds).run()
+    raise SolverError(f"unknown solver backend {backend!r}")

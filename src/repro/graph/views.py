@@ -14,6 +14,13 @@ therefore written against the small protocol implemented here:
   interval contains a JUMP source are blocked (``steal_all``) — under reversal
   those jumps enter the loop mid-body, so hoisting consumption out of the
   loop would be unsafe (paper §5.3, Figure 16).
+
+Traversal orders and child orders sit on the solver's hot path, so both
+views compute them once: ``nodes_preorder()``/``nodes_reverse_preorder()``
+return cached tuples (never copies) and ``children()`` memoizes the
+sorted order per view.  ``plan_key`` identifies the view's *shape* —
+everything a compiled :class:`~repro.core.kernel.plan.SolverPlan`
+depends on — so equal keys share one cached plan per graph.
 """
 
 from repro.graph.traversal import preorder, postorder
@@ -26,18 +33,24 @@ class ForwardView:
 
     direction = "before"
 
+    #: Plan-cache key: all ForwardViews of one graph share one shape.
+    plan_key = ("before",)
+
     def __init__(self, ifg):
         self.ifg = ifg
         self.root = ifg.root
-        self._preorder = preorder(ifg)
+        self._preorder = tuple(preorder(ifg))
+        self._reverse_preorder = tuple(reversed(self._preorder))
         self._position = {node: i for i, node in enumerate(self._preorder)}
+        self._children = {}
 
     def nodes_preorder(self):
-        """This view's FORWARD+DOWNWARD order."""
-        return list(self._preorder)
+        """This view's FORWARD+DOWNWARD order (a cached tuple — shared,
+        not copied, across all sweeps)."""
+        return self._preorder
 
     def nodes_reverse_preorder(self):
-        return list(reversed(self._preorder))
+        return self._reverse_preorder
 
     def succs(self, node, letters):
         return self.ifg.succs(node, letters)
@@ -52,8 +65,14 @@ class ForwardView:
         return self.ifg.header_of(node)
 
     def children(self, node):
-        """CHILDREN(node) in this view's FORWARD order."""
-        return sorted(self.ifg.children(node), key=self._position.__getitem__)
+        """CHILDREN(node) in this view's FORWARD order (memoized — the
+        S2 loop asks per node per sweep)."""
+        cached = self._children.get(node)
+        if cached is None:
+            cached = self._children[node] = tuple(
+                sorted(self.ifg.children(node),
+                       key=self._position.__getitem__))
+        return cached
 
     def is_header(self, node):
         return self.ifg.is_header(node)
@@ -95,21 +114,29 @@ class BackwardView:
     def __init__(self, ifg, blocked=True):
         self.ifg = ifg
         self.root = ifg.root
+        self.blocked = blocked
         # This view's forward direction is the original backward one, so
         # its PREORDER (forward+downward) is the reverse of the original
         # POSTORDER (forward+upward).
-        self._postorder = postorder(ifg)
-        self._preorder = list(reversed(self._postorder))
+        self._postorder = tuple(postorder(ifg))
+        self._preorder = tuple(reversed(self._postorder))
         self._position = {node: i for i, node in enumerate(self._preorder)}
+        self._children = {}
         self._blocked_headers = (
             set(ifg.headers_with_jump_sources()) if blocked else set()
         )
 
+    @property
+    def plan_key(self):
+        """Plan-cache key: blocked and optimistic backward views differ
+        in their ``steal_all`` masks, so they compile separate plans."""
+        return ("after", self.blocked)
+
     def nodes_preorder(self):
-        return list(self._preorder)
+        return self._preorder
 
     def nodes_reverse_preorder(self):
-        return list(self._postorder)
+        return self._postorder
 
     def succs(self, node, letters):
         return self.ifg.preds(node, letters.translate(_BACKWARD_TYPE_MAP))
@@ -130,7 +157,12 @@ class BackwardView:
         return cycle_targets[0] if cycle_targets else None
 
     def children(self, node):
-        return sorted(self.ifg.children(node), key=self._position.__getitem__)
+        cached = self._children.get(node)
+        if cached is None:
+            cached = self._children[node] = tuple(
+                sorted(self.ifg.children(node),
+                       key=self._position.__getitem__))
+        return cached
 
     def is_header(self, node):
         return self.ifg.is_header(node)
@@ -158,3 +190,25 @@ class BackwardView:
     #: (blocked mode) or checker certification (optimistic mode).
     loc_pred_letters = "F"
     loc_synthetic_letters = ""
+
+
+def cached_view(ifg, direction, blocked=True):
+    """A per-graph shared view instance.
+
+    Views are immutable once built but still cost a traversal and a
+    position map to construct; the pipeline solves the same graph up to
+    three times (READ, optimistic WRITE, blocked WRITE), so views — like
+    solver plans — are cached on the graph and keyed by shape.
+    """
+    key = ("before",) if direction == "before" else ("after", blocked)
+    views = ifg.__dict__.get("_solver_views")
+    if views is None:
+        views = ifg.__dict__["_solver_views"] = {}
+    view = views.get(key)
+    if view is None:
+        if direction == "before":
+            view = ForwardView(ifg)
+        else:
+            view = BackwardView(ifg, blocked=blocked)
+        views[key] = view
+    return view

@@ -1,5 +1,5 @@
-"""Machine-readable benchmark artifacts: ``BENCH_solver.json`` and
-``BENCH_batch.json``.
+"""Machine-readable benchmark artifacts: ``BENCH_solver.json``,
+``BENCH_batch.json`` and ``BENCH_kernel.json``.
 
 **Solver scaling** — the paper's §5.2 complexity claim (every equation
 evaluated exactly once per node, O(E) total) is asserted by
@@ -29,7 +29,21 @@ parallel warm run is no faster than the serial uncached one, or when a
 full-hit warm cache fails to beat the cold run (i.e. cache hits give no
 speedup).
 
-Wall-clock fields end in ``_s``; everything else is deterministic.
+**Kernel speedup** — the planned solver backend's reason to exist
+(``docs/scaling.md``)::
+
+    python -m repro.obs.bench --kernel --output BENCH_kernel.json --check
+
+solves each ladder instance in both directions with the reference and
+the planned backend (views prebuilt and plans warmed, so only the solve
+phase is timed; median of repeats) and records the per-instance and
+overall speedups plus a bit-identity verdict against the reference
+solution.  ``--check`` exits nonzero when the planned backend is slower
+than the reference anywhere or when any solution differs by a single
+bit.
+
+Wall-clock fields end in ``_s`` (speedups are ratios of wall-clock and
+carry the suffix too); everything else is deterministic.
 """
 
 import argparse
@@ -45,6 +59,7 @@ from repro.testing.generator import random_analyzed_program, random_problem
 
 SCHEMA = "repro-bench-solver/1"
 BATCH_SCHEMA = "repro-bench-batch/1"
+KERNEL_SCHEMA = "repro-bench-kernel/1"
 
 #: The size ladder — kept in sync with benchmarks/test_bench_scaling_linear.py.
 SIZES = (40, 160, 640)
@@ -99,6 +114,81 @@ def solver_scaling(sizes=SIZES, seed=11, n_elements=8, repeats=3):
         "per_node_growth_ratios_s": ratios,
         "linear_within_tolerance": all(r < TOLERANCE for r in ratios),
         "each_equation_once": all(row["each_equation_once"] for row in rows),
+    }
+
+
+def kernel_scaling(sizes=SIZES, seed=11, n_elements=8, repeats=5):
+    """Planned-vs-reference solve-phase timing; the
+    ``BENCH_kernel.json`` payload.
+
+    Per (size, direction): one untimed solve per backend first — it
+    compiles and caches the :class:`~repro.core.kernel.plan.SolverPlan`
+    and the view's order/children memos, the one-time costs the batch
+    layer amortizes — then ``repeats`` timed solves per backend with the
+    view prebuilt, keeping the median.  Every planned solution is
+    checked bit-identical to the reference one over all nodes.
+    """
+    import statistics
+
+    from repro.core.problem import Direction
+    from repro.core.reference import solutions_equal
+    from repro.graph.views import cached_view
+
+    rows = []
+    for size in sizes:
+        analyzed = random_analyzed_program(seed, size=size, max_depth=3)
+        nodes = len(analyzed.ifg.real_nodes())
+        for direction in (Direction.BEFORE, Direction.AFTER):
+            problem = random_problem(analyzed, seed=seed,
+                                     n_elements=n_elements,
+                                     direction=direction)
+            view = cached_view(
+                analyzed.ifg,
+                "before" if direction is Direction.BEFORE else "after")
+            # Warmup (also the correctness probe): both backends once,
+            # untimed, and the solutions compared bit for bit.
+            reference = solve(analyzed.ifg, problem, view=view,
+                              backend="reference")
+            planned = solve(analyzed.ifg, problem, view=view,
+                            backend="planned")
+            identical = solutions_equal(reference, planned,
+                                        analyzed.ifg.nodes())
+
+            def timed(backend):
+                times = []
+                for _ in range(repeats):
+                    start = time.perf_counter()
+                    solve(analyzed.ifg, problem, view=view, backend=backend)
+                    times.append(time.perf_counter() - start)
+                return statistics.median(times)
+
+            reference_s = timed("reference")
+            planned_s = timed("planned")
+            rows.append({
+                "size": size,
+                "nodes": nodes,
+                "direction": direction.name,
+                "reference_median_s": reference_s,
+                "planned_median_s": planned_s,
+                "speedup_s": reference_s / planned_s,
+                "identical": identical,
+            })
+    speedups = [row["speedup_s"] for row in rows]
+    overall = (sum(row["reference_median_s"] for row in rows)
+               / sum(row["planned_median_s"] for row in rows))
+    return {
+        "schema": KERNEL_SCHEMA,
+        "seed": seed,
+        "n_elements": n_elements,
+        "repeats": repeats,
+        "rows": rows,
+        "overall_speedup_s": overall,
+        "min_speedup_s": min(speedups),
+        "all_identical": all(row["identical"] for row in rows),
+        # the two --check gates: never slower than the oracle, never a
+        # single bit away from it
+        "planned_beats_reference": all(s >= 1.0 for s in speedups),
+        "meets_2x_target": overall >= 2.0,
     }
 
 
@@ -190,28 +280,38 @@ def main(argv=None):
     parser = argparse.ArgumentParser(
         prog="python -m repro.obs.bench",
         description="measure the solver's O(E) trajectory "
-                    "(BENCH_solver.json) or, with --batch, the batch "
-                    "layer's throughput (BENCH_batch.json)")
+                    "(BENCH_solver.json), the batch layer's throughput "
+                    "(--batch, BENCH_batch.json), or the planned "
+                    "kernel's speedup (--kernel, BENCH_kernel.json)")
     parser.add_argument("--output", default=None,
                         help="where to write the JSON payload (default: "
-                             "BENCH_solver.json, or BENCH_batch.json "
-                             "with --batch)")
+                             "BENCH_solver.json, BENCH_batch.json with "
+                             "--batch, or BENCH_kernel.json with "
+                             "--kernel)")
     parser.add_argument("--check", action="store_true",
                         help="exit 1 when the measured trajectory "
                              "regresses (solver: super-linear growth; "
                              "batch: parallel slower than serial, or a "
-                             "warm cache giving no speedup)")
+                             "warm cache giving no speedup; kernel: "
+                             "planned slower than reference, or not "
+                             "bit-identical)")
     parser.add_argument("--sizes", type=int, nargs="+", default=list(SIZES))
     parser.add_argument("--repeats", type=int, default=None,
-                        help="timing repeats (default: 3 solver, 2 batch)")
+                        help="timing repeats (default: 3 solver, "
+                             "2 batch, 5 kernel)")
     parser.add_argument("--batch", action="store_true",
                         help="measure batch compilation throughput "
                              "instead of solver scaling")
+    parser.add_argument("--kernel", action="store_true",
+                        help="measure the planned solver backend "
+                             "against the reference solver")
     parser.add_argument("--jobs", type=int, default=4,
                         help="worker processes for --batch")
     parser.add_argument("--programs", type=int, default=32,
                         help="corpus size for --batch")
     args = parser.parse_args(argv)
+    if args.kernel:
+        return _main_kernel(args)
     if args.batch:
         return _main_batch(args)
     return _main_solver(args)
@@ -232,6 +332,29 @@ def _main_solver(args):
     if args.check and not (report["linear_within_tolerance"]
                            and report["each_equation_once"]):
         print("error: solver scaling regressed beyond tolerance",
+              file=sys.stderr)
+        return 1
+    return 0
+
+
+def _main_kernel(args):
+    output = args.output or "BENCH_kernel.json"
+    repeats = 5 if args.repeats is None else args.repeats
+    report = kernel_scaling(sizes=tuple(args.sizes), repeats=repeats)
+    write_bench_json(output, report)
+    for row in report["rows"]:
+        print(f"size={row['size']} direction={row['direction']} "
+              f"reference={row['reference_median_s'] * 1e3:.2f}ms "
+              f"planned={row['planned_median_s'] * 1e3:.2f}ms "
+              f"speedup={row['speedup_s']:.2f}x "
+              f"identical={row['identical']}")
+    print(f"wrote {output} "
+          f"(overall speedup {report['overall_speedup_s']:.2f}x, "
+          f"2x target met: {report['meets_2x_target']})")
+    if args.check and not (report["all_identical"]
+                           and report["planned_beats_reference"]):
+        print("error: planned kernel regressed (slower than the "
+              "reference solver, or not bit-identical to it)",
               file=sys.stderr)
         return 1
     return 0

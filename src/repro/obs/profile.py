@@ -34,6 +34,13 @@ def run_satisfies_each_equation_once(run):
     a backward fixpoint with ``k`` sweeps evaluates S1/S2 ``k`` times —
     still exactly once per node *per sweep*, which is the invariant the
     elimination order guarantees.
+
+    Planned-backend runs (recognized by their ``sparse_evaluations``
+    field) replace the re-sweeps with sparse worklist rounds, so their
+    exact S1/S2 totals are ``nodes * full_sweeps`` plus the reported
+    bundle/child re-evaluations — and each equation is still evaluated
+    *at most* once per node per round, which keeps the dense per-sweep
+    totals as an upper bound (the sparse counts can only be lower).
     """
     nodes = run["nodes"]
     sweeps = run["consumption_sweeps"]
@@ -42,9 +49,26 @@ def run_satisfies_each_equation_once(run):
     def observed(number):
         return counts.get(str(number), counts.get(number, 0))
 
+    sparse = run.get("sparse_evaluations")
+    if sparse is not None:
+        full = run["full_sweeps"]
+        rounds = run["sparse_rounds"]
+        expected_s1 = nodes * full + sparse["bundles"]
+        expected_s2 = (nodes - 1) * full + sparse["children"]
+        within_round_bound = (
+            sparse["bundles"] <= nodes * rounds
+            and sparse["children"] <= (nodes - 1) * rounds
+            and full + rounds == sweeps
+        )
+    else:
+        expected_s1 = nodes * sweeps
+        expected_s2 = (nodes - 1) * sweeps
+        within_round_bound = True
+
     return (
-        all(observed(n) == nodes * sweeps for n in _S1)
-        and all(observed(n) == (nodes - 1) * sweeps for n in _S2)
+        within_round_bound
+        and all(observed(n) == expected_s1 for n in _S1)
+        and all(observed(n) == expected_s2 for n in _S2)
         and all(observed(n) == nodes * 2 for n in _S3_S4)
     )
 
@@ -124,7 +148,7 @@ def build_profile(collector, extra=None):
 
 def profile_source(source, hardened=False, run_simulation=False,
                    bindings=None, machine=None, policy=None, faults=None,
-                   retry=None):
+                   retry=None, solver_backend=None):
     """Compile ``source`` under tracing; return the profile payload.
 
     ``hardened`` routes placement through the
@@ -132,7 +156,9 @@ def profile_source(source, hardened=False, run_simulation=False,
     ``run_simulation`` additionally executes the annotated program on
     the machine model (``bindings``/``machine``/``policy``/``faults``/
     ``retry`` as for :func:`repro.machine.simulate`) so the message
-    timeline lands in the trace.
+    timeline lands in the trace; ``solver_backend`` selects the solver
+    kernel (``"planned"``/``"reference"``, ``None`` = the solver
+    default) so both backends' equation-count profiles can be compared.
     """
     from repro.commgen import HardenedPipeline, generate_communication
     from repro.machine import simulate
@@ -140,9 +166,11 @@ def profile_source(source, hardened=False, run_simulation=False,
     metrics = None
     with tracing() as collector:
         if hardened:
-            result = HardenedPipeline().run(source)
+            result = HardenedPipeline(
+                solver_backend=solver_backend).run(source)
         else:
-            result = generate_communication(source)
+            result = generate_communication(
+                source, solver_backend=solver_backend)
         if run_simulation:
             metrics = simulate(result.annotated_program, machine,
                                bindings or {"n": 16}, policy,
@@ -188,12 +216,18 @@ def format_profile(payload, events=False):
 
     for index, run in enumerate(summary.get("solver_runs", []), start=1):
         verdict = "yes" if run_satisfies_each_equation_once(run) else "NO"
-        lines.append(
-            f"solver run {index}: direction={run['direction']} "
+        line = (
+            f"solver run {index}: backend={run.get('backend', 'reference')} "
+            f"direction={run['direction']} "
             f"nodes={run['nodes']} "
             f"consumption_sweeps={run['consumption_sweeps']} "
             f"fixpoint_rounds={run['rounds']} "
             f"converged={run['converged']} each-equation-once={verdict}")
+        sparse = run.get("sparse_evaluations")
+        if sparse is not None:
+            line += (f" sparse_rounds={run['sparse_rounds']} "
+                     f"sparse_bundles={sparse['bundles']}")
+        lines.append(line)
     once = summary.get("each_equation_once")
     if once is not None:
         lines.append(f"each-equation-once (all runs): "

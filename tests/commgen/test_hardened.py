@@ -76,14 +76,14 @@ def test_degrades_when_balanced_rung_fails(monkeypatch):
     must fall through to a rung that certifies instead of raising."""
     import repro.commgen.hardened as hardened_mod
 
-    calls = {"n": 0}
     real = hardened_mod.generate_communication
 
     def sabotage(source, **kwargs):
         result = real(source, **kwargs)
-        if kwargs.get("after_jumps") != "conservative" and calls["n"] == 0:
-            calls["n"] += 1
+        if kwargs.get("after_jumps") != "conservative":
             # drop one production: C1 balance now fails on replay
+            # (on every backend — the fault is in the placement, not
+            # the kernel, so the reference retry cannot mask it)
             placement = result.read_placement
             production = placement.productions()[0]
             placement._set(production.node, production.position,
@@ -172,3 +172,34 @@ def test_accepts_parsed_programs():
 
     hardened = harden_communication(parse(FIG11_SOURCE))
     assert hardened.rung == "balanced"
+
+
+def test_kernel_fault_retries_on_reference_before_degrading(monkeypatch):
+    """A solver-kernel fault must not cost a rung: the same rung is
+    retried on the reference backend, succeeds, and the run does not
+    count as degraded."""
+    from repro.core.kernel.planned import PlannedSolver
+    from repro.util.errors import SolverError
+
+    def kernel_fault(self):
+        raise SolverError("injected kernel fault")
+
+    monkeypatch.setattr(PlannedSolver, "run", kernel_fault)
+    hardened = HardenedPipeline().run(FIG11_SOURCE)
+    assert hardened.rung == "balanced"
+    assert not hardened.report.degraded
+    assert hardened.report.reason is None
+    first, second = hardened.report.attempts[:2]
+    assert not first.ok and "injected kernel fault" in first.reason
+    assert first.backend in (None, "planned")
+    assert second.ok and second.backend == "reference"
+    # identical output to the plain pipeline on the reference backend
+    plain = generate_communication(FIG11_SOURCE, solver_backend="reference")
+    assert hardened.annotated_source() == plain.annotated_source()
+
+
+def test_explicit_reference_backend_skips_the_retry():
+    hardened = HardenedPipeline(solver_backend="reference").run(FIG11_SOURCE)
+    assert hardened.rung == "balanced"
+    assert len(hardened.report.attempts) == 1
+    assert hardened.report.attempts[0].backend == "reference"

@@ -1,0 +1,137 @@
+"""SolverPlan structure tests: slots, schedules, bundles, caching.
+
+The planned backend's correctness is established differentially in
+``test_kernel_equivalence.py``; here we pin down the *plan* itself —
+the compile-once data a :class:`~repro.core.kernel.plan.SolverPlan`
+extracts from a view — and the two caching layers (plans on the graph,
+views on the graph) that make it a one-time cost.
+"""
+
+import pickle
+
+import pytest
+
+from repro.core.kernel import SolverPlan, plan_for
+from repro.core.reference import solutions_equal
+from repro.core.solver import solve
+from repro.graph.views import BackwardView, ForwardView, cached_view
+from repro.testing.generator import random_analyzed_program, random_problem
+
+
+@pytest.fixture(scope="module", params=["before", "after"])
+def plan_case(request):
+    analyzed = random_analyzed_program(3, size=18)
+    view = (ForwardView(analyzed.ifg) if request.param == "before"
+            else BackwardView(analyzed.ifg))
+    return analyzed, view, SolverPlan(view)
+
+
+def test_slots_are_view_preorder_positions(plan_case):
+    _, view, plan = plan_case
+    order = view.nodes_preorder()
+    assert plan.nodes == tuple(order)
+    assert all(plan.slot_of[node] == i for i, node in enumerate(order))
+    assert plan.n == len(order)
+    assert plan.nodes[plan.root_slot] is view.root
+
+
+def test_children_keep_forward_order(plan_case):
+    """Eqs 9/10 must see children in the view's order (S2's FORWARD)."""
+    _, view, plan = plan_case
+    for s, node in enumerate(plan.nodes):
+        assert plan.children[s] == tuple(plan.slot_of[c]
+                                         for c in view.children(node))
+        # headers precede their interval in preorder
+        assert all(c > s for c in plan.children[s])
+
+
+def test_parent_inverts_children(plan_case):
+    _, _, plan = plan_case
+    assert plan.parent[plan.root_slot] == -1
+    for s in range(plan.n):
+        for c in plan.children[s]:
+            assert plan.parent[c] == s
+    # every non-root slot is somebody's child
+    assert all(plan.parent[s] >= 0 for s in range(plan.n)
+               if s != plan.root_slot)
+
+
+def test_adjacency_matches_view(plan_case):
+    _, view, plan = plan_case
+    for s, node in enumerate(plan.nodes):
+        for letters, flat in (("E", plan.succs_e), ("F", plan.succs_f),
+                              ("EF", plan.succs_ef), ("FJ", plan.succs_fj),
+                              ("FJS", plan.succs_fjs)):
+            assert flat[s] == tuple(plan.slot_of[x]
+                                    for x in view.succs(node, letters))
+        assert plan.preds_fj[s] == tuple(plan.slot_of[x]
+                                         for x in view.preds(node, "FJ"))
+
+
+def test_dependents_invert_reads(plan_case):
+    _, _, plan = plan_case
+    for s in range(plan.n):
+        assert s not in plan.reads[s]
+        for d in plan.reads[s]:
+            assert s in plan.dependents[d]
+    for d in range(plan.n):
+        for s in plan.dependents[d]:
+            assert d in plan.reads[s]
+
+
+def test_seeds_are_exactly_the_downward_readers(plan_case):
+    """A bundle is a seed iff it reads a *lower* slot — the only value
+    the descending sweep cannot have refreshed before reaching it."""
+    _, _, plan = plan_case
+    expected = tuple(sorted(
+        (s for s in range(plan.n) if any(d < s for d in plan.reads[s])),
+        reverse=True))
+    assert plan.seeds == expected
+    assert list(plan.seeds) == sorted(plan.seeds, reverse=True)
+
+
+def test_iteration_flag_and_bound_come_from_the_view():
+    analyzed = random_analyzed_program(3, size=18)
+    forward = SolverPlan(ForwardView(analyzed.ifg))
+    assert not forward.requires_iteration
+    assert forward.natural_bound is None
+    backward = SolverPlan(BackwardView(analyzed.ifg))
+    if backward.requires_iteration:
+        assert backward.natural_bound >= 1
+
+
+def test_plan_cached_per_shape_on_the_graph():
+    ifg = random_analyzed_program(5, size=14).ifg
+    before = plan_for(cached_view(ifg, "before"))
+    after = plan_for(cached_view(ifg, "after"))
+    optimistic = plan_for(cached_view(ifg, "after", blocked=False))
+    assert plan_for(cached_view(ifg, "before")) is before
+    assert plan_for(cached_view(ifg, "after")) is after
+    # blocked/unblocked backward views are different shapes
+    assert optimistic is not after
+    assert plan_for(BackwardView(ifg)) is after  # keyed by shape, not object
+    assert ifg.__dict__["_solver_plans"].keys() == {
+        ("before",), ("after", True), ("after", False)}
+
+
+def test_cached_view_returns_one_instance_per_shape():
+    ifg = random_analyzed_program(5, size=14).ifg
+    assert cached_view(ifg, "before") is cached_view(ifg, "before")
+    assert cached_view(ifg, "after") is cached_view(ifg, "after")
+    assert cached_view(ifg, "after") is not cached_view(ifg, "after",
+                                                        blocked=False)
+
+
+def test_plans_survive_graph_pickling():
+    """Batch cache snapshots pickle the graph; the plans ride along and
+    the unpickled graph solves planned-vs-reference identically."""
+    analyzed = random_analyzed_program(7, size=16)
+    problem = random_problem(analyzed, seed=7, n_elements=4)
+    plan_for(cached_view(analyzed.ifg, "before"))
+    # One dump keeps the graph/problem node identities shared, exactly
+    # as the batch cache snapshots them.
+    ifg, problem = pickle.loads(pickle.dumps((analyzed.ifg, problem)))
+    assert ("before",) in ifg.__dict__["_solver_plans"]
+    planned = solve(ifg, problem, backend="planned")
+    reference = solve(ifg, problem, backend="reference")
+    assert solutions_equal(planned, reference, ifg.nodes())

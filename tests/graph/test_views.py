@@ -72,10 +72,21 @@ def test_backward_children_sorted_by_backward_order(seed):
     position = {node: i for i, node in enumerate(view.nodes_preorder())}
     for node in ifg.nodes():
         children = view.children(node)
-        assert children == sorted(children, key=position.__getitem__)
+        assert list(children) == sorted(children, key=position.__getitem__)
 
 
 def test_views_cover_all_nodes(fig11):
     for view in (ForwardView(fig11.ifg), BackwardView(fig11.ifg)):
         assert set(view.nodes_preorder()) == set(fig11.ifg.nodes())
-        assert view.nodes_reverse_preorder() == list(reversed(view.nodes_preorder()))
+        assert list(view.nodes_reverse_preorder()) == list(
+            reversed(view.nodes_preorder()))
+
+
+def test_view_orders_and_children_are_memoized(fig11):
+    """The planned kernel leans on views being cheap to re-query: the
+    traversal orders and children come back as the same cached tuples."""
+    for view in (ForwardView(fig11.ifg), BackwardView(fig11.ifg)):
+        assert view.nodes_preorder() is view.nodes_preorder()
+        assert view.nodes_reverse_preorder() is view.nodes_reverse_preorder()
+        for node in fig11.ifg.nodes():
+            assert view.children(node) is view.children(node)

@@ -99,3 +99,62 @@ def test_bench_rows_increase_in_nodes():
     report = solver_scaling(sizes=(12, 24), repeats=1)
     nodes = [row["nodes"] for row in report["rows"]]
     assert nodes == sorted(nodes) and nodes[0] < nodes[-1]
+
+
+def test_profile_solver_backend_selects_the_kernel():
+    planned = profile_source(FIG11_SOURCE)  # "planned" is the default
+    reference = profile_source(FIG11_SOURCE, solver_backend="reference")
+    planned_runs = planned["summary"]["solver_runs"]
+    reference_runs = reference["summary"]["solver_runs"]
+    assert all(run["backend"] == "planned" for run in planned_runs)
+    assert all("sparse_evaluations" in run for run in planned_runs)
+    assert all(run["backend"] == "reference" for run in reference_runs)
+    assert all("sparse_evaluations" not in run for run in reference_runs)
+    # both satisfy §5.2 and place identically
+    assert planned["summary"]["each_equation_once"] is True
+    assert reference["summary"]["each_equation_once"] is True
+    assert (planned["summary"]["placements"]
+            == reference["summary"]["placements"])
+
+
+def test_planned_verdict_rejects_tampered_counts():
+    """The planned-run verdict is exact, not just an upper bound."""
+    payload = profile_source(FIG11_SOURCE)
+    run = payload["summary"]["solver_runs"][-1]  # the AFTER solve
+    assert run.get("sparse_evaluations") is not None
+    assert run_satisfies_each_equation_once(run)
+    inflated = dict(run,
+                    equation_evaluations=dict(run["equation_evaluations"]))
+    inflated["equation_evaluations"]["1"] += 1
+    assert not run_satisfies_each_equation_once(inflated)
+    # full sweeps + sparse rounds must account for every sweep
+    unbalanced = dict(run, full_sweeps=run["full_sweeps"] + 1)
+    assert not run_satisfies_each_equation_once(unbalanced)
+
+
+def test_format_profile_shows_backend_and_sparse_stats():
+    text = format_profile(profile_source(FIG11_SOURCE))
+    assert "backend=planned" in text
+    assert "sparse_rounds=" in text
+    text = format_profile(profile_source(FIG11_SOURCE,
+                                         solver_backend="reference"))
+    assert "backend=reference" in text
+    assert "sparse_rounds=" not in text
+
+
+def test_kernel_bench_report_shape(tmp_path):
+    from repro.obs.bench import KERNEL_SCHEMA, kernel_scaling
+
+    report = kernel_scaling(sizes=(12, 24), repeats=1)
+    assert report["schema"] == KERNEL_SCHEMA
+    assert len(report["rows"]) == 4  # two sizes x two directions
+    assert report["all_identical"] is True
+    for row in report["rows"]:
+        assert row["direction"] in ("BEFORE", "AFTER")
+        assert row["reference_median_s"] > 0
+        assert row["planned_median_s"] > 0
+        assert row["speedup_s"] == (row["reference_median_s"]
+                                    / row["planned_median_s"])
+    path = tmp_path / "BENCH_kernel.json"
+    write_bench_json(str(path), report)
+    assert json.loads(path.read_text())["schema"] == KERNEL_SCHEMA

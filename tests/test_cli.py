@@ -374,3 +374,26 @@ def test_batch_empty_directory_error_hygiene(capsys, tmp_path):
     empty = tmp_path / "empty"
     empty.mkdir()
     assert_clean_failure(capsys, ["batch", str(empty)])
+
+
+def test_annotate_solver_backend_is_bit_identical(fig11_file):
+    default = run(["annotate", fig11_file])
+    reference = run(["annotate", fig11_file, "--solver-backend", "reference"])
+    planned = run(["annotate", fig11_file, "--solver-backend", "planned"])
+    assert reference[0] == 0 and planned[0] == 0
+    assert default[1] == reference[1] == planned[1]
+
+
+def test_profile_solver_backend(fig11_file):
+    code, output = run(["profile", fig11_file,
+                        "--solver-backend", "reference"])
+    assert code == 0 and "backend=reference" in output
+    code, output = run(["profile", fig11_file])
+    assert code == 0 and "backend=planned" in output
+
+
+def test_batch_solver_backend(fig11_file):
+    code, output = run(["batch", fig11_file,
+                        "--solver-backend", "reference"])
+    assert code == 0
+    assert "1/1 programs ok" in output
