@@ -68,6 +68,14 @@ from repro.batch import (
     PipelineCache,
     compile_many,
     compile_one,
+    resolve_jobs,
+)
+from repro.service import (
+    CompileService,
+    ServiceClient,
+    ServiceConfig,
+    ServiceError,
+    ThreadedServer,
 )
 from repro.machine import (
     ConditionPolicy,
@@ -120,6 +128,12 @@ __all__ = [
     "PipelineCache",
     "compile_many",
     "compile_one",
+    "resolve_jobs",
+    "CompileService",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceError",
+    "ThreadedServer",
     "ConditionPolicy",
     "FaultPlan",
     "MachineModel",

@@ -23,6 +23,7 @@ from repro.batch.driver import (
     CompiledProgram,
     compile_many,
     compile_one,
+    resolve_jobs,
 )
 
 __all__ = [
@@ -35,4 +36,5 @@ __all__ = [
     "CompiledProgram",
     "compile_many",
     "compile_one",
+    "resolve_jobs",
 ]

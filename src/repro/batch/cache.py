@@ -69,6 +69,7 @@ class PipelineCache:
         self.hits = 0
         self.misses = 0
         self.stores = 0
+        self.corrupt = 0
         if directory is not None:
             os.makedirs(directory, exist_ok=True)
 
@@ -83,22 +84,47 @@ class PipelineCache:
 
     def get(self, namespace, key):
         """The entry for ``(namespace, key)`` as a *fresh* object graph,
-        or ``None`` on a miss."""
-        payload = self._memory.get((namespace, key))
+        or ``None`` on a miss.
+
+        A snapshot that no longer unpickles — a writer killed mid-write
+        before the atomic rename landed, a torn disk, a copied cache
+        directory — is treated as a miss, not a crash: the bad entry is
+        evicted (so the next :meth:`put` heals it) and counted under
+        ``stats()["corrupt"]``."""
+        location = (namespace, key)
+        payload = self._memory.get(location)
+        from_disk = False
         if payload is None and self.directory is not None:
-            path = self._path(namespace, key)
             try:
-                with open(path, "rb") as handle:
+                with open(self._path(namespace, key), "rb") as handle:
                     payload = handle.read()
             except OSError:
                 payload = None
             else:
-                self._remember(namespace, key, payload)
+                from_disk = True
         if payload is None:
             self.misses += 1
             return None
+        try:
+            state = pickle.loads(payload)
+        except (pickle.UnpicklingError, EOFError):
+            self._evict_corrupt(location)
+            self.corrupt += 1
+            self.misses += 1
+            return None
+        if from_disk:
+            self._remember(namespace, key, payload)
         self.hits += 1
-        return pickle.loads(payload)
+        return state
+
+    def _evict_corrupt(self, location):
+        """Drop a snapshot that failed to unpickle from both layers."""
+        self._memory.pop(location, None)
+        if self.directory is not None:
+            try:
+                os.unlink(self._path(*location))
+            except OSError:
+                pass
 
     def put(self, namespace, key, state):
         """Snapshot ``state`` (pickle now, so later mutation of the live
@@ -148,6 +174,7 @@ class PipelineCache:
             "hits": self.hits,
             "misses": self.misses,
             "stores": self.stores,
+            "corrupt": self.corrupt,
             "hit_rate": self.hit_rate,
             "memory_entries": len(self._memory),
             "directory": self.directory,
@@ -157,4 +184,4 @@ class PipelineCache:
         """Drop the in-memory layer and reset the counters (on-disk
         entries are left alone)."""
         self._memory.clear()
-        self.hits = self.misses = self.stores = 0
+        self.hits = self.misses = self.stores = self.corrupt = 0

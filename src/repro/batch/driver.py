@@ -27,6 +27,7 @@ input, a warm cached run reports byte-identical stable traces to a cold
 or uncached one — the equivalence suite pins this down.
 """
 
+import os
 import time
 from dataclasses import dataclass, field
 from typing import Optional
@@ -56,6 +57,19 @@ PREPARE_DEFAULTS = {
     "solver_rounds": None,
     "solver_backend": None,
 }
+
+
+def resolve_jobs(jobs):
+    """The effective worker count for a requested ``jobs`` value.
+
+    Positive values pass through; ``0`` (or anything non-positive) means
+    "one worker per CPU" — the resolution shared by
+    :func:`compile_many`, ``repro batch --jobs 0``, and the compile
+    service's worker pool (:mod:`repro.service`)."""
+    jobs = int(jobs)
+    if jobs <= 0:
+        return os.cpu_count() or 1
+    return jobs
 
 
 @dataclass
@@ -336,7 +350,8 @@ def compile_many(sources, jobs=1, cache=None, options=None):
     * ``sources`` — an iterable of ``(name, text)`` pairs or a
       ``{name: text}`` mapping; result order follows input order.
     * ``jobs`` — worker process count.  ``1`` compiles serially in this
-      process (using ``cache`` directly); higher values fan out over a
+      process (using ``cache`` directly); ``0`` means one worker per CPU
+      (:func:`resolve_jobs`); higher values fan out over a
       :class:`~concurrent.futures.ProcessPoolExecutor`.  A cache with a
       ``directory`` is then shared by all workers through the
       filesystem; a memory-only cache degrades to one private cache per
@@ -346,7 +361,7 @@ def compile_many(sources, jobs=1, cache=None, options=None):
     """
     items = list(sources.items()) if isinstance(sources, dict) else list(sources)
     options = options if options is not None else BatchOptions()
-    jobs = max(1, int(jobs))
+    jobs = resolve_jobs(jobs)
     start = time.perf_counter()
 
     if jobs == 1 or len(items) <= 1:

@@ -18,6 +18,11 @@
     python -m repro batch DIR_OR_FILES... [--jobs N] [--cache DIR]
                                           [--no-cache] [--hardened]
                                           [--json] [--quiet]
+    python -m repro serve [--host H] [--port P] [--workers N]
+                          [--queue-limit N] [--deadline S] [--hardened]
+                          [--cache DIR] [--no-cache] [--pool KIND]
+    python -m repro request ACTION [FILES...] [--host H] [--port P]
+                                   [--deadline S] [--hardened] [--json]
 
 ``annotate`` prints the program with balanced READ/WRITE communication
 (the paper's Figure 14 output format); ``graph`` prints the interval
@@ -39,6 +44,12 @@ processes, ``--cache DIR`` keeps a content-addressed cache of solved
 pipeline state warm across runs, ``--no-cache`` disables caching
 entirely.  Per-program errors are reported and counted, never fatal to
 the rest of the corpus; the command exits 1 when any program failed.
+
+``serve`` runs the resident compile service (``docs/serving.md``): a
+warm-cache ``asyncio`` TCP server with bounded admission, backpressure,
+per-request deadlines, and graceful drain; ``request`` sends one
+request (``compile``, ``batch``, ``status``, ``drain``, ``ping``) to a
+running service and renders the reply.
 
 ``--hardened`` routes placement through the self-checking
 :class:`~repro.commgen.hardened.HardenedPipeline`; ``--faults`` injects
@@ -73,6 +84,7 @@ from repro.obs import (
     to_json,
     tracing,
 )
+from repro.service.config import DEFAULT_PORT as DEFAULT_SERVICE_PORT
 from repro.testing.programs import analyze_source
 from repro.util.errors import FaultSpecError, ReproError
 
@@ -158,7 +170,8 @@ def build_parser():
                        help="directories (every *.f inside) and/or "
                             "individual source files")
     batch.add_argument("--jobs", type=int, default=1,
-                       help="worker processes (default 1 = serial)")
+                       help="worker processes (default 1 = serial, "
+                            "0 = one per CPU)")
     batch.add_argument("--cache", metavar="DIR", default=None,
                        help="persist the content-addressed pipeline "
                             "cache in DIR (warm across runs); default "
@@ -178,6 +191,57 @@ def build_parser():
     batch.add_argument("--quiet", action="store_true",
                        help="summary line only, no per-program lines")
     add_solver_backend_argument(batch)
+
+    serve = commands.add_parser(
+        "serve", help="run the resident compile service "
+                      "(docs/serving.md)")
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument("--port", type=int, default=DEFAULT_SERVICE_PORT,
+                       help=f"listen port (default {DEFAULT_SERVICE_PORT}, "
+                            "0 = ephemeral)")
+    serve.add_argument("--workers", type=int, default=0,
+                       help="worker processes (default 0 = one per CPU)")
+    serve.add_argument("--pool", choices=["auto", "process", "thread"],
+                       default="auto",
+                       help="worker pool kind (auto = processes, with a "
+                            "thread fallback where multiprocessing is "
+                            "unavailable)")
+    serve.add_argument("--queue-limit", type=int, default=32,
+                       help="max requests queued or running before new "
+                            "work is refused with a busy/retry_after "
+                            "reply")
+    serve.add_argument("--deadline", type=float, default=None,
+                       help="default per-request deadline in seconds "
+                            "(requests may override)")
+    serve.add_argument("--hardened", action="store_true",
+                       help="compile through the self-checking degrading "
+                            "pipeline by default")
+    serve.add_argument("--cache", metavar="DIR", default=None,
+                       help="persist the warm pipeline cache in DIR "
+                            "(shared across restarts and pool workers)")
+    serve.add_argument("--no-cache", action="store_true",
+                       help="disable the pipeline cache entirely")
+
+    request = commands.add_parser(
+        "request", help="send one request to a running compile service")
+    request.add_argument("action",
+                         choices=["compile", "batch", "status", "drain",
+                                  "ping"])
+    request.add_argument("paths", nargs="*", metavar="PATH",
+                         help="source files for compile, files and/or "
+                              "directories for batch")
+    request.add_argument("--host", default="127.0.0.1")
+    request.add_argument("--port", type=int, default=DEFAULT_SERVICE_PORT)
+    request.add_argument("--deadline", type=float, default=None,
+                         help="per-request deadline in seconds")
+    request.add_argument("--hardened", action="store_true",
+                         help="ask for the self-checking degrading "
+                              "pipeline")
+    request.add_argument("--timeout", type=float, default=30.0,
+                         help="client socket timeout in seconds")
+    request.add_argument("--json", action="store_true",
+                         help="print the raw response payload")
+    add_solver_backend_argument(request)
 
     explain = commands.add_parser(
         "explain", help="dataflow report for the communication problems")
@@ -346,14 +410,14 @@ def command_pre(args, out):
                      or "-") + "\n")
 
 
-def command_batch(args, out):
-    import json
+def collect_sources(paths):
+    """``(name, text)`` pairs from a mix of files and directories
+    (every ``*.f`` inside a directory) — shared by ``batch`` and
+    ``request batch``."""
     import os
 
-    from repro.batch import BatchOptions, PipelineCache, compile_many
-
     sources = []
-    for path in args.paths:
+    for path in paths:
         if os.path.isdir(path):
             for name in sorted(os.listdir(path)):
                 if name.endswith(".f"):
@@ -363,7 +427,16 @@ def command_batch(args, out):
             sources.append((path, read_source(path)))
     if not sources:
         raise FileNotFoundError(
-            f"no *.f programs found under: {', '.join(args.paths)}")
+            f"no *.f programs found under: {', '.join(paths)}")
+    return sources
+
+
+def command_batch(args, out):
+    import json
+
+    from repro.batch import BatchOptions, PipelineCache, compile_many
+
+    sources = collect_sources(args.paths)
 
     cache = None if args.no_cache else PipelineCache(directory=args.cache)
     options = BatchOptions(
@@ -395,6 +468,103 @@ def command_batch(args, out):
     return 1 if result.error_count else 0
 
 
+def command_serve(args, out):
+    from repro.service import ServiceConfig, run_service
+
+    config = ServiceConfig(
+        host=args.host,
+        port=args.port,
+        workers=args.workers,
+        pool=args.pool,
+        queue_limit=args.queue_limit,
+        deadline_s=args.deadline,
+        hardened=args.hardened,
+        cache_dir=args.cache,
+        use_cache=not args.no_cache,
+    )
+    run_service(config, out=out)
+
+
+def command_request(args, out):
+    import json
+
+    from repro.service import ServiceClient
+
+    options = {}
+    if args.hardened:
+        options["hardened"] = True
+    if args.solver_backend:
+        options["pipeline"] = {"solver_backend": args.solver_backend}
+    options = options or None
+
+    def dump(payload):
+        out.write(json.dumps(payload, indent=2, sort_keys=True))
+        out.write("\n")
+
+    with ServiceClient(args.host, args.port, timeout_s=args.timeout) as client:
+        if args.action == "ping":
+            response = client.ping()
+            if args.json:
+                dump(response)
+            else:
+                out.write(f"pong from {args.host}:{args.port} "
+                          f"({response['protocol']})\n")
+        elif args.action == "status":
+            dump(client.status())
+        elif args.action == "drain":
+            response = client.drain()
+            if args.json:
+                dump(response)
+            else:
+                out.write(f"drained: {response['completed']} completed, "
+                          f"{response['failed']} failed\n")
+        elif args.action == "compile":
+            if not args.paths:
+                raise ReproError(
+                    "request compile needs at least one source file")
+            failed = 0
+            for path in args.paths:
+                result = client.compile(read_source(path), name=path,
+                                        deadline_s=args.deadline,
+                                        options=options)
+                if args.json:
+                    dump(result)
+                elif result["ok"]:
+                    out.write(result["annotated_source"])
+                    line = (f"! {result['reads']} read and "
+                            f"{result['writes']} write placements")
+                    if result.get("rung"):
+                        line += f" [rung={result['rung']}]"
+                    if result.get("cache_hit"):
+                        line += " [cached]"
+                    out.write(line + "\n")
+                else:
+                    failed += 1
+                    out.write(f"{path}: error: {result['error']}\n")
+            return 1 if failed else 0
+        else:  # batch
+            sources = collect_sources(args.paths)
+            response = client.batch(sources, deadline_s=args.deadline,
+                                    options=options)
+            if args.json:
+                dump(response)
+                return 1 if response["error_count"] else 0
+            for program in response["results"]:
+                if program["ok"]:
+                    line = (f"{program['name']}: reads={program['reads']} "
+                            f"writes={program['writes']}")
+                    if program["cache_hit"]:
+                        line += " [cached]"
+                    if program.get("rung"):
+                        line += f" [rung={program['rung']}]"
+                else:
+                    line = f"{program['name']}: error: {program['error']}"
+                out.write(line + "\n")
+            out.write(f"{response['ok_count']}/{len(response['results'])} "
+                      f"programs ok, {response['cache_hits']} cache hits\n")
+            return 1 if response["error_count"] else 0
+
+
 def command_explain(args, out):
     from repro.core.report import solution_report
 
@@ -417,6 +587,8 @@ COMMANDS = {
     "profile": command_profile,
     "pre": command_pre,
     "batch": command_batch,
+    "serve": command_serve,
+    "request": command_request,
     "explain": command_explain,
 }
 

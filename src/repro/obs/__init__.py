@@ -8,8 +8,10 @@ The subsystem has three layers:
 * :mod:`repro.obs.trace` — JSON payloads, the deterministic
   :func:`stable_form`, human rendering;
 * :mod:`repro.obs.profile` / :mod:`repro.obs.bench` — end-to-end
-  profiling (``repro profile``, ``--trace``) and the
-  ``BENCH_solver.json`` scaling artifact.
+  profiling (``repro profile``, ``--trace``) and the ``BENCH_*.json``
+  artifacts;
+* :mod:`repro.obs.histogram` — O(1)-memory latency percentiles for the
+  long-running compile service (``docs/serving.md``).
 """
 
 from repro.obs.collector import (
@@ -20,6 +22,7 @@ from repro.obs.collector import (
     set_collector,
     tracing,
 )
+from repro.obs.histogram import LatencyHistogram
 from repro.obs.profile import (
     build_profile,
     format_profile,
@@ -32,6 +35,7 @@ from repro.obs.trace import stable_form, to_json, trace_payload
 __all__ = [
     "NULL",
     "NullCollector",
+    "LatencyHistogram",
     "TraceCollector",
     "current_collector",
     "set_collector",

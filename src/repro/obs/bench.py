@@ -42,6 +42,24 @@ solution.  ``--check`` exits nonzero when the planned backend is slower
 than the reference anywhere or when any solution differs by a single
 bit.
 
+**Service throughput** — the resident compile service's reason to exist
+(``docs/serving.md``)::
+
+    python -m repro.obs.bench --service --output BENCH_service.json --check
+
+stands up a real in-process :class:`~repro.service.server.CompileService`
+(TCP, worker pool, warm cache) and drives it with ``--clients``
+concurrent load-generator threads, comparing against a cold
+one-shot-per-request baseline (every request pays the full pipeline
+with no resident cache — what the pre-service entry points cost).
+Client-side latencies are recorded exactly (p50/p90/p99), every
+response is verified byte-identical to the direct pipeline output, and
+a final drain probe checks that in-flight requests complete before the
+server exits.  ``--check`` exits nonzero when any request was dropped,
+corrupted, or failed, when the warm resident server fails to double the
+cold baseline's throughput, or when the drain left admitted work
+unfinished.
+
 Wall-clock fields end in ``_s`` (speedups are ratios of wall-clock and
 carry the suffix too); everything else is deterministic.
 """
@@ -60,6 +78,7 @@ from repro.testing.generator import random_analyzed_program, random_problem
 SCHEMA = "repro-bench-solver/1"
 BATCH_SCHEMA = "repro-bench-batch/1"
 KERNEL_SCHEMA = "repro-bench-kernel/1"
+SERVICE_SCHEMA = "repro-bench-service/1"
 
 #: The size ladder — kept in sync with benchmarks/test_bench_scaling_linear.py.
 SIZES = (40, 160, 640)
@@ -266,6 +285,217 @@ def batch_throughput(n_programs=32, jobs=4, size=14, seed=0, repeats=2):
     }
 
 
+def _exact_percentile(sorted_values, q):
+    """Exact sample quantile (nearest-rank) of a sorted list."""
+    if not sorted_values:
+        return 0.0
+    import math
+
+    rank = max(1, math.ceil(q * len(sorted_values)))
+    return sorted_values[rank - 1]
+
+
+def service_throughput(n_clients=8, requests_per_client=12, corpus_size=8,
+                       size=14, seed=0, workers=0, queue_limit=None):
+    """Load-test a resident compile service; return the
+    ``BENCH_service.json`` payload.
+
+    Phases:
+
+    1. **cold one-shot baseline** — every request recompiles from
+       scratch with no resident cache (the cost of today's one-shot
+       entry points), which also pins the expected byte-exact output of
+       every corpus program;
+    2. **warm resident service** — a real
+       :class:`~repro.service.runner.ThreadedServer` is warmed once per
+       distinct program, then ``n_clients`` threads (own connections)
+       each fire ``requests_per_client`` requests, honoring
+       backpressure; every response is checked byte-identical;
+    3. **drain probe** — a handful of slow compiles are put in flight,
+       then ``drain`` is issued; all admitted requests must complete.
+    """
+    import threading
+
+    from repro.batch.driver import compile_one
+    from repro.service import ServiceClient, ServiceConfig, ThreadedServer
+
+    corpus = batch_corpus(n_programs=corpus_size, size=size, seed=seed)
+    total_requests = n_clients * requests_per_client
+
+    # Phase 1: the cold baseline, which doubles as the oracle.
+    expected = {}
+    start = time.perf_counter()
+    for index in range(total_requests):
+        name, text = corpus[index % len(corpus)]
+        compiled = compile_one(name, text, cache=None)
+        if not compiled.ok:
+            raise RuntimeError(f"bench corpus program {name} failed: "
+                               f"{compiled.error}")
+        expected[name] = compiled.annotated_source
+    cold_elapsed = time.perf_counter() - start
+
+    config = ServiceConfig(
+        port=0, workers=workers,
+        queue_limit=queue_limit if queue_limit else max(16, 2 * n_clients))
+    lock = threading.Lock()
+    latencies = []
+    counts = {"dropped": 0, "corrupted": 0, "failed": 0, "busy_retries": 0}
+
+    def load_client(client_index):
+        try:
+            with ServiceClient(port=port, timeout_s=120) as client:
+                barrier.wait()
+                for i in range(requests_per_client):
+                    name, text = corpus[(client_index + i) % len(corpus)]
+                    t0 = time.perf_counter()
+
+                    def note_retry(delay, _sleep=time.sleep):
+                        with lock:
+                            counts["busy_retries"] += 1
+                        _sleep(delay)
+
+                    try:
+                        result = client.compile_retrying(text, name=name,
+                                                         sleep=note_retry)
+                    except Exception:
+                        with lock:
+                            counts["dropped"] += 1
+                        continue
+                    elapsed = time.perf_counter() - t0
+                    with lock:
+                        latencies.append(elapsed)
+                        if not result.get("ok"):
+                            counts["failed"] += 1
+                        elif result.get("annotated_source") != expected[name]:
+                            counts["corrupted"] += 1
+        except Exception:
+            with lock:
+                counts["dropped"] += requests_per_client
+
+    with ThreadedServer(config) as server:
+        port = server.port
+        # Warm the resident cache once per distinct program.
+        with ServiceClient(port=port, timeout_s=120) as client:
+            for name, text in corpus:
+                client.compile_retrying(text, name=name)
+        barrier = threading.Barrier(n_clients + 1)
+        threads = [threading.Thread(target=load_client, args=(index,))
+                   for index in range(n_clients)]
+        for thread in threads:
+            thread.start()
+        barrier.wait()
+        start = time.perf_counter()
+        for thread in threads:
+            thread.join()
+        warm_elapsed = time.perf_counter() - start
+        with ServiceClient(port=port, timeout_s=120) as client:
+            status = client.status()
+        drain = _drain_probe(port, seed=seed)
+
+    latencies.sort()
+    completed = len(latencies)
+    cold_rps = total_requests / cold_elapsed if cold_elapsed > 0 else 0.0
+    warm_rps = completed / warm_elapsed if warm_elapsed > 0 else 0.0
+    speedup = warm_rps / cold_rps if cold_rps > 0 else 0.0
+    clean = (counts["dropped"] == 0 and counts["corrupted"] == 0
+             and counts["failed"] == 0 and completed == total_requests)
+    return {
+        "schema": SERVICE_SCHEMA,
+        "n_clients": n_clients,
+        "requests_per_client": requests_per_client,
+        "corpus_size": corpus_size,
+        "program_size": size,
+        "seed": seed,
+        "modes": {
+            "cold_oneshot": {
+                "elapsed_s": cold_elapsed,
+                "requests_per_second_s": cold_rps,
+            },
+            "warm_service": {
+                "elapsed_s": warm_elapsed,
+                "requests_per_second_s": warm_rps,
+                "workers": status["server"]["workers"],
+                "pool": status["server"]["pool"],
+            },
+        },
+        "requests": {
+            "total": total_requests,
+            "completed": completed,
+            "dropped": counts["dropped"],
+            "corrupted": counts["corrupted"],
+            "failed": counts["failed"],
+            "busy_retries": counts["busy_retries"],
+        },
+        "latency": {
+            "p50_s": _exact_percentile(latencies, 0.5),
+            "p90_s": _exact_percentile(latencies, 0.9),
+            "p99_s": _exact_percentile(latencies, 0.99),
+            "mean_s": sum(latencies) / completed if completed else 0.0,
+            "max_s": latencies[-1] if latencies else 0.0,
+        },
+        "service_status": status,
+        "drain": drain,
+        "speedup_warm_vs_cold_s": speedup,
+        "sustained_clients": n_clients,
+        # the three --check gates
+        "zero_dropped_or_corrupted": clean,
+        "warm_beats_cold_2x": speedup >= 2.0,
+        "drain_completed_in_flight": drain["ok"],
+    }
+
+
+def _drain_probe(port, seed=0, in_flight=4, probe_size=60):
+    """Put slow compiles in flight, drain, and verify every admitted
+    request completed."""
+    import threading
+
+    from repro.lang.printer import format_program
+    from repro.service import E_DRAINING, ServiceClient, ServiceError
+    from repro.testing.generator import ArrayProgramGenerator
+
+    slow = format_program(
+        ArrayProgramGenerator(seed=seed + 101).program(size=probe_size))
+    outcomes = []
+    lock = threading.Lock()
+
+    def probe(index):
+        try:
+            with ServiceClient(port=port, timeout_s=120) as client:
+                result = client.compile(slow, name=f"drain-{index}")
+                with lock:
+                    outcomes.append(("completed", bool(result.get("ok"))))
+        except ServiceError as error:
+            with lock:
+                outcomes.append((error.code, False))
+        except Exception as error:
+            with lock:
+                outcomes.append((type(error).__name__, False))
+
+    with ServiceClient(port=port, timeout_s=120) as drainer:
+        threads = [threading.Thread(target=probe, args=(index,))
+                   for index in range(in_flight)]
+        for thread in threads:
+            thread.start()
+        time.sleep(0.05)
+        reply = drainer.drain()
+    for thread in threads:
+        thread.join()
+    tally = {}
+    for code, _ in outcomes:
+        tally[code] = tally.get(code, 0) + 1
+    # Admitted work must have completed ok; racing past admission into
+    # the draining refusal is legitimate, anything else is not.
+    ok = (bool(reply.get("drained"))
+          and all(ok for code, ok in outcomes if code == "completed")
+          and all(code in ("completed", E_DRAINING) for code, _ in outcomes))
+    return {
+        "in_flight": in_flight,
+        "outcomes": tally,
+        "drain_reply_ok": bool(reply.get("drained")),
+        "ok": ok,
+    }
+
+
 def write_bench_json(path, report=None):
     """Write (and return) the payload; ``report=None`` measures fresh."""
     if report is None:
@@ -282,7 +512,9 @@ def main(argv=None):
         description="measure the solver's O(E) trajectory "
                     "(BENCH_solver.json), the batch layer's throughput "
                     "(--batch, BENCH_batch.json), or the planned "
-                    "kernel's speedup (--kernel, BENCH_kernel.json)")
+                    "kernel's speedup (--kernel, BENCH_kernel.json), or "
+                    "the resident service's throughput (--service, "
+                    "BENCH_service.json)")
     parser.add_argument("--output", default=None,
                         help="where to write the JSON payload (default: "
                              "BENCH_solver.json, BENCH_batch.json with "
@@ -309,11 +541,20 @@ def main(argv=None):
                         help="worker processes for --batch")
     parser.add_argument("--programs", type=int, default=32,
                         help="corpus size for --batch")
+    parser.add_argument("--service", action="store_true",
+                        help="load-test a resident compile service "
+                             "against the cold one-shot baseline")
+    parser.add_argument("--clients", type=int, default=8,
+                        help="concurrent client threads for --service")
+    parser.add_argument("--requests", type=int, default=12,
+                        help="requests per client for --service")
     args = parser.parse_args(argv)
     if args.kernel:
         return _main_kernel(args)
     if args.batch:
         return _main_batch(args)
+    if args.service:
+        return _main_service(args)
     return _main_solver(args)
 
 
@@ -379,6 +620,37 @@ def _main_batch(args):
                            and report["cache_gives_speedup"]):
         print("error: batch throughput regressed (parallel slower than "
               "serial, or warm cache gives no speedup)", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _main_service(args):
+    output = args.output or "BENCH_service.json"
+    report = service_throughput(n_clients=args.clients,
+                                requests_per_client=args.requests)
+    write_bench_json(output, report)
+    for mode, row in report["modes"].items():
+        print(f"{mode}: {row['requests_per_second_s']:.1f} requests/s "
+              f"({row['elapsed_s'] * 1e3:.0f}ms total)")
+    latency = report["latency"]
+    requests = report["requests"]
+    print(f"latency: p50={latency['p50_s'] * 1e3:.1f}ms "
+          f"p90={latency['p90_s'] * 1e3:.1f}ms "
+          f"p99={latency['p99_s'] * 1e3:.1f}ms "
+          f"(completed={requests['completed']}/{requests['total']}, "
+          f"dropped={requests['dropped']}, "
+          f"corrupted={requests['corrupted']}, "
+          f"busy_retries={requests['busy_retries']})")
+    print(f"wrote {output} "
+          f"(speedup warm vs cold: {report['speedup_warm_vs_cold_s']:.2f}x, "
+          f"drain ok: {report['drain_completed_in_flight']})")
+    if args.check and not (report["zero_dropped_or_corrupted"]
+                           and report["warm_beats_cold_2x"]
+                           and report["drain_completed_in_flight"]):
+        print("error: service throughput regressed (a request was "
+              "dropped, corrupted, or failed; the warm service did not "
+              "double the cold baseline; or drain left admitted work "
+              "unfinished)", file=sys.stderr)
         return 1
     return 0
 

@@ -1,0 +1,86 @@
+"""Streaming latency histograms: p50/p99 without storing samples.
+
+The compile service (:mod:`repro.service`) reports per-phase latency
+percentiles live through its ``status`` request, so the recorder has to
+be O(1) per observation and O(1) memory no matter how long the server
+stays up.  :class:`LatencyHistogram` buckets observations geometrically:
+bucket upper bounds grow by a fixed ``base`` factor, so any reported
+percentile is within one bucket ratio of the true sample percentile
+(±~19% with the default ``base = 2**0.25``) — plenty for operational
+dashboards, and exact aggregates (count, sum, min, max) ride along.
+
+All values are wall-clock seconds; snapshot field names carry the
+``_s`` suffix like every other timing field in :mod:`repro.obs`.
+"""
+
+import math
+from bisect import bisect_left
+
+#: Percentiles every snapshot reports (the service metrics glossary in
+#: ``docs/serving.md`` documents these).
+SNAPSHOT_QUANTILES = (0.5, 0.9, 0.99)
+
+
+class LatencyHistogram:
+    """Fixed geometric buckets over ``[minimum, minimum * base**buckets)``.
+
+    Observations below ``minimum`` land in the first bucket, anything
+    beyond the last bound in an overflow bucket whose reported value is
+    clamped to the observed maximum.  The defaults span 10 microseconds
+    to about 40 minutes in ~19% steps.
+    """
+
+    def __init__(self, minimum=1e-5, base=2 ** 0.25, buckets=112):
+        if minimum <= 0 or base <= 1 or buckets < 1:
+            raise ValueError("need minimum > 0, base > 1, buckets >= 1")
+        self.minimum = minimum
+        self.base = base
+        self._bounds = [minimum * base ** i for i in range(buckets)]
+        self._counts = [0] * (buckets + 1)  # +1 = overflow bucket
+        self.count = 0
+        self.total = 0.0
+        self.min_value = math.inf
+        self.max_value = 0.0
+
+    def record(self, value):
+        """Observe one duration (seconds; negatives clamp to zero)."""
+        value = max(0.0, float(value))
+        self._counts[bisect_left(self._bounds, value)] += 1
+        self.count += 1
+        self.total += value
+        self.min_value = min(self.min_value, value)
+        self.max_value = max(self.max_value, value)
+
+    @property
+    def mean(self):
+        return self.total / self.count if self.count else 0.0
+
+    def percentile(self, q):
+        """The ``q``-quantile (``0 < q <= 1``): the geometric midpoint of
+        the bucket holding that rank, clamped to the observed range."""
+        if self.count == 0:
+            return 0.0
+        rank = max(1, math.ceil(q * self.count))
+        seen = 0
+        for index, bucket_count in enumerate(self._counts):
+            seen += bucket_count
+            if seen >= rank:
+                low = self._bounds[index - 1] if index > 0 else 0.0
+                high = (self._bounds[index] if index < len(self._bounds)
+                        else self.max_value)
+                value = math.sqrt(low * high) if low > 0 else high / 2.0
+                return min(max(value, self.min_value), self.max_value)
+        return self.max_value  # pragma: no cover (seen always reaches count)
+
+    def snapshot(self):
+        """JSON-ready summary: count, mean/min/max, and the standard
+        percentiles (:data:`SNAPSHOT_QUANTILES`)."""
+        summary = {
+            "count": self.count,
+            "mean_s": self.mean,
+            "min_s": self.min_value if self.count else 0.0,
+            "max_s": self.max_value,
+        }
+        for q in SNAPSHOT_QUANTILES:
+            summary[f"p{int(q * 100)}_s"] = self.percentile(q)
+        return summary

@@ -1,0 +1,120 @@
+"""Blocking client for the compile service (``docs/serving.md``).
+
+:class:`ServiceClient` speaks the newline-delimited JSON protocol over
+one TCP connection: each call is a request/response round-trip, matched
+by the auto-assigned ``id``.  Refusals and failures surface as
+:class:`~repro.service.protocol.ServiceError` (a
+:class:`~repro.util.errors.ReproError`, so the CLI's one-line error
+handling applies); :meth:`compile_retrying` additionally honors the
+server's ``retry_after_s`` backpressure hint — the polite loop a load
+generator or batch submitter should use.
+
+::
+
+    with ServiceClient(port=7421) as client:
+        result = client.compile(source, name="fig11.f")
+        print(result["annotated_source"], end="")
+"""
+
+import socket
+import time
+
+from repro.service.config import DEFAULT_PORT
+from repro.service.protocol import (
+    E_BUSY,
+    E_INTERNAL,
+    ServiceError,
+    decode_message,
+    encode_message,
+    raise_for_error,
+)
+
+
+class ServiceClient:
+    """One connection to a running compile service."""
+
+    def __init__(self, host="127.0.0.1", port=DEFAULT_PORT, timeout_s=30.0):
+        self.host = host
+        self.port = port
+        self._sock = socket.create_connection((host, port), timeout=timeout_s)
+        self._file = self._sock.makefile("rwb")
+        self._next_id = 0
+
+    def close(self):
+        try:
+            self._file.close()
+        finally:
+            self._sock.close()
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *exc_info):
+        self.close()
+
+    # -- the round-trip ------------------------------------------------------
+
+    def request(self, body):
+        """Send one request, read one response; return the ``ok``
+        response dict or raise :class:`ServiceError`."""
+        self._next_id += 1
+        body = dict(body)
+        body.setdefault("id", self._next_id)
+        self._file.write(encode_message(body))
+        self._file.flush()
+        line = self._file.readline()
+        if not line:
+            raise ServiceError(E_INTERNAL, "connection closed by server")
+        return raise_for_error(decode_message(line))
+
+    # -- request types -------------------------------------------------------
+
+    def ping(self):
+        return self.request({"type": "ping"})
+
+    def status(self):
+        """The live metrics snapshot (``docs/serving.md`` glossary)."""
+        return self.request({"type": "status"})["status"]
+
+    def drain(self):
+        """Ask the server to finish in-flight work and shut down;
+        returns only once everything in flight has completed."""
+        return self.request({"type": "drain"})
+
+    def compile(self, source, name="<client>", deadline_s=None, options=None):
+        """Compile one program; returns the result dict (the service-side
+        :meth:`~repro.batch.driver.CompiledProgram.as_dict` payload —
+        check ``result["ok"]`` for the per-program verdict)."""
+        body = {"type": "compile", "name": name, "source": source}
+        if deadline_s is not None:
+            body["deadline_s"] = deadline_s
+        if options:
+            body["options"] = options
+        return self.request(body)["result"]
+
+    def batch(self, programs, deadline_s=None, options=None):
+        """Compile ``programs`` (``(name, source)`` pairs or a mapping)
+        as one admission unit; returns the full batch response."""
+        items = programs.items() if isinstance(programs, dict) else programs
+        body = {"type": "batch",
+                "programs": [{"name": name, "source": source}
+                             for name, source in items]}
+        if deadline_s is not None:
+            body["deadline_s"] = deadline_s
+        if options:
+            body["options"] = options
+        return self.request(body)
+
+    def compile_retrying(self, source, name="<client>", deadline_s=None,
+                         options=None, max_attempts=100, sleep=time.sleep):
+        """:meth:`compile`, but wait out ``busy`` backpressure replies
+        using the server's ``retry_after_s`` hint."""
+        for attempt in range(max_attempts):
+            try:
+                return self.compile(source, name=name, deadline_s=deadline_s,
+                                    options=options)
+            except ServiceError as error:
+                if error.code != E_BUSY or attempt == max_attempts - 1:
+                    raise
+                sleep(error.retry_after_s or 0.05)
+        raise AssertionError("unreachable")  # pragma: no cover

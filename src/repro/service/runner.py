@@ -1,0 +1,94 @@
+"""In-process service harness: a real TCP server on a background thread.
+
+The tests, the ``--service`` benchmark, and interactive sessions all
+need a genuine :class:`~repro.service.server.CompileService` — real
+sockets, real admission, real pool — without managing a subprocess.
+:class:`ThreadedServer` runs the service's event loop on a daemon
+thread, blocks :meth:`start` until the port is bound (surfacing startup
+errors in the caller), and tears down via the same graceful
+:meth:`~repro.service.server.CompileService.shutdown` path the drain
+request uses.
+
+::
+
+    with ThreadedServer(ServiceConfig(pool="thread", workers=2)) as server:
+        with ServiceClient(port=server.port) as client:
+            client.compile(source)
+"""
+
+import asyncio
+import threading
+
+from repro.service.server import CompileService
+
+
+class ThreadedServer:
+    """Run a :class:`CompileService` on a private event-loop thread."""
+
+    def __init__(self, config=None, timeout_s=60.0):
+        self.config = config
+        self.service = None
+        self._thread = None
+        self._loop = None
+        self._ready = threading.Event()
+        self._error = None
+        self._timeout = timeout_s
+
+    def start(self):
+        """Start the loop thread; returns once the socket is bound."""
+        self._thread = threading.Thread(target=self._run,
+                                        name="repro-service-loop",
+                                        daemon=True)
+        self._thread.start()
+        if not self._ready.wait(self._timeout):
+            raise RuntimeError("compile service did not start in time")
+        if self._error is not None:
+            raise self._error
+        return self
+
+    def _run(self):
+        try:
+            asyncio.run(self._amain())
+        except BaseException as error:  # pragma: no cover - defensive
+            self._error = error
+            self._ready.set()
+
+    async def _amain(self):
+        self.service = CompileService(self.config)
+        self._loop = asyncio.get_running_loop()
+        try:
+            await self.service.start()
+        except Exception as error:
+            self._error = error
+            self._ready.set()
+            return
+        self._ready.set()
+        await self.service.wait_closed()
+
+    @property
+    def host(self):
+        return self.service.host
+
+    @property
+    def port(self):
+        return self.service.port
+
+    def stop(self, drain=True):
+        """Shut the service down (gracefully by default) and join the
+        loop thread.  Idempotent: a server already drained by a client
+        just joins."""
+        if self._thread is None or not self._thread.is_alive():
+            return
+        if self.service is not None and self._loop is not None:
+            try:
+                future = asyncio.run_coroutine_threadsafe(
+                    self.service.shutdown(drain=drain), self._loop)
+                future.result(timeout=self._timeout)
+            except RuntimeError:
+                pass  # loop already closed between the check and the call
+        self._thread.join(self._timeout)
+
+    __enter__ = start
+
+    def __exit__(self, *exc_info):
+        self.stop()

@@ -1,5 +1,7 @@
 """PipelineCache: content addressing, snapshot semantics, persistence."""
 
+import os
+
 import pytest
 
 from repro.batch.cache import CACHE_SCHEMA, PipelineCache, source_fingerprint
@@ -90,6 +92,62 @@ def test_memory_eviction_keeps_disk_entries(tmp_path):
     assert len(cache) == 2  # FIFO-evicted down to the bound
     # evicted entries still hit through the disk layer
     assert cache.get("ns", keys[0]) == 0
+
+
+def test_corrupt_disk_entry_is_a_miss_not_a_crash(tmp_path):
+    # a writer killed mid-write, a torn disk, a copied cache directory:
+    # the snapshot file exists but no longer unpickles
+    directory = str(tmp_path)
+    writer = PipelineCache(directory=directory)
+    key = writer.key(SOURCE)
+    writer.put("ns", key, {"value": 1})
+    path = writer._path("ns", key)
+    with open(path, "wb") as handle:
+        handle.write(b"\x80\x05 not a pickle")
+
+    reader = PipelineCache(directory=directory)
+    assert reader.get("ns", key) is None  # miss, not UnpicklingError
+    stats = reader.stats()
+    assert stats["corrupt"] == 1 and stats["misses"] == 1
+    assert not tmp_path.joinpath(os.path.basename(path)).exists()  # evicted
+    # the next put heals the slot
+    reader.put("ns", key, {"value": 2})
+    assert reader.get("ns", key) == {"value": 2}
+
+
+def test_truncated_disk_entry_counts_as_corrupt(tmp_path):
+    cache = PipelineCache(directory=str(tmp_path))
+    key = cache.key(SOURCE)
+    payload = cache.put("ns", key, ("solved", 42))
+    path = cache._path("ns", key)
+    with open(path, "wb") as handle:
+        handle.write(payload[: len(payload) // 2])  # torn write
+
+    fresh = PipelineCache(directory=str(tmp_path))
+    assert fresh.get("ns", key) is None
+    assert fresh.corrupt == 1
+    assert not os.path.exists(path)
+
+
+def test_corrupt_memory_entry_is_evicted():
+    cache = PipelineCache()
+    key = cache.key(SOURCE)
+    cache.put("ns", key, 1)
+    cache._memory[("ns", key)] = b"garbage"
+    assert cache.get("ns", key) is None
+    assert ("ns", key) not in cache._memory
+    assert cache.stats()["corrupt"] == 1
+
+
+def test_clear_resets_corrupt_counter(tmp_path):
+    cache = PipelineCache(directory=str(tmp_path))
+    key = cache.key(SOURCE)
+    cache.put("ns", key, 1)
+    cache._memory[("ns", key)] = b"garbage"
+    cache.get("ns", key)
+    assert cache.corrupt == 1
+    cache.clear()
+    assert cache.stats()["corrupt"] == 0
 
 
 def test_clear_resets_memory_and_counters(tmp_path):

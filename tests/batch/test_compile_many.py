@@ -7,6 +7,7 @@ from repro.batch import (
     PipelineCache,
     compile_many,
     compile_one,
+    resolve_jobs,
 )
 from repro.commgen.pipeline import generate_communication
 from repro.testing.programs import FIG1_SOURCE, FIG11_SOURCE
@@ -82,6 +83,22 @@ def test_parallel_equals_serial(tmp_path):
     assert parallel.cache_stats is not None
     warm = compile_many(small_corpus(), jobs=2, cache=cache)
     assert warm.cache_hits == 2
+
+
+def test_resolve_jobs_zero_means_one_per_cpu():
+    import os
+
+    assert resolve_jobs(0) == (os.cpu_count() or 1)
+    assert resolve_jobs(-3) == (os.cpu_count() or 1)
+    assert resolve_jobs(1) == 1
+    assert resolve_jobs(7) == 7
+    assert resolve_jobs("2") == 2  # argparse hands over ints, but be lenient
+
+
+def test_compile_many_jobs_zero_resolves_to_cpu_count():
+    result = compile_many(small_corpus(), jobs=0)
+    assert result.ok_count == 2
+    assert result.jobs == resolve_jobs(0)
 
 
 def test_hardened_mode_reports_rung():

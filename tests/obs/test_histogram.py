@@ -1,0 +1,106 @@
+"""LatencyHistogram: O(1)-memory percentiles with bounded error."""
+
+import json
+import random
+
+import pytest
+
+from repro.obs import LatencyHistogram
+from repro.obs.histogram import SNAPSHOT_QUANTILES
+
+
+def test_empty_histogram_reports_zeros():
+    hist = LatencyHistogram()
+    assert hist.count == 0
+    assert hist.mean == 0.0
+    assert hist.percentile(0.5) == 0.0
+    snap = hist.snapshot()
+    assert snap["count"] == 0 and snap["min_s"] == 0.0 and snap["p99_s"] == 0.0
+
+
+def test_single_observation_is_exact():
+    hist = LatencyHistogram()
+    hist.record(0.125)
+    assert hist.count == 1
+    assert hist.mean == 0.125
+    # a lone sample is clamped to the observed min == max, so every
+    # percentile is exact regardless of bucket width
+    for q in SNAPSHOT_QUANTILES:
+        assert hist.percentile(q) == 0.125
+
+
+def test_percentiles_within_one_bucket_ratio():
+    # the documented accuracy contract: geometric buckets with base b
+    # put any percentile within a factor of b of the true sample value
+    rng = random.Random(0)
+    samples = [rng.uniform(0.001, 2.0) for _ in range(5000)]
+    hist = LatencyHistogram()
+    for value in samples:
+        hist.record(value)
+    samples.sort()
+    for q in SNAPSHOT_QUANTILES:
+        exact = samples[max(0, int(q * len(samples)) - 1)]
+        reported = hist.percentile(q)
+        assert reported / exact == pytest.approx(1.0, rel=0.25)
+
+
+def test_percentiles_clamped_to_observed_range():
+    hist = LatencyHistogram()
+    for value in (0.010, 0.011, 0.012):
+        hist.record(value)
+    assert 0.010 <= hist.percentile(0.5) <= 0.012
+    assert hist.percentile(0.99) <= hist.max_value
+    assert hist.percentile(0.01) >= hist.min_value
+
+
+def test_negative_and_tiny_values_clamp_into_first_bucket():
+    hist = LatencyHistogram(minimum=1e-5)
+    hist.record(-1.0)  # clock skew: clamps to zero, not a crash
+    hist.record(1e-9)
+    assert hist.count == 2
+    assert hist.min_value == 0.0
+    assert hist.percentile(0.5) <= hist.minimum
+
+
+def test_overflow_bucket_clamps_to_observed_max():
+    hist = LatencyHistogram(minimum=1e-3, buckets=4)  # tops out around 2ms
+    hist.record(1000.0)
+    assert hist.percentile(0.99) == 1000.0
+
+
+def test_mean_min_max_are_exact_aggregates():
+    hist = LatencyHistogram()
+    for value in (0.1, 0.2, 0.3, 0.4):
+        hist.record(value)
+    assert hist.mean == pytest.approx(0.25)
+    assert hist.min_value == 0.1
+    assert hist.max_value == 0.4
+
+
+def test_snapshot_is_json_shaped():
+    hist = LatencyHistogram()
+    for i in range(100):
+        hist.record(0.001 * (i + 1))
+    snap = hist.snapshot()
+    json.dumps(snap)
+    assert snap["count"] == 100
+    assert set(snap) == {"count", "mean_s", "min_s", "max_s",
+                         "p50_s", "p90_s", "p99_s"}
+    assert snap["p50_s"] <= snap["p90_s"] <= snap["p99_s"] <= snap["max_s"]
+
+
+def test_memory_is_constant():
+    hist = LatencyHistogram()
+    before = len(hist._counts)
+    for i in range(10000):
+        hist.record(i * 1e-4)
+    assert len(hist._counts) == before  # no per-sample storage
+
+
+def test_invalid_parameters_rejected():
+    with pytest.raises(ValueError):
+        LatencyHistogram(minimum=0)
+    with pytest.raises(ValueError):
+        LatencyHistogram(base=1.0)
+    with pytest.raises(ValueError):
+        LatencyHistogram(buckets=0)

@@ -1,0 +1,336 @@
+"""CompileService end to end: real sockets, real admission, real pool.
+
+Every test here talks to a genuine TCP server via
+:class:`~repro.service.runner.ThreadedServer`; the shared module fixture
+uses a thread pool (cheap, and warmth is the server's own in-memory
+cache), while one dedicated test exercises the process-pool path with
+its filesystem-shared cache.
+"""
+
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.commgen.pipeline import generate_communication
+from repro.lang.printer import format_program
+from repro.service import (
+    E_BAD_REQUEST,
+    E_BUSY,
+    E_DEADLINE,
+    E_DRAINING,
+    PROTOCOL,
+    ServiceClient,
+    ServiceConfig,
+    ServiceError,
+    ThreadedServer,
+)
+from repro.testing.generator import ArrayProgramGenerator
+from repro.testing.programs import FIG1_SOURCE, FIG11_SOURCE
+
+
+def generated_source(size, seed=0):
+    return format_program(ArrayProgramGenerator(seed=seed).program(size=size))
+
+
+#: Slow enough (~300ms in CI) that admission races are deterministic.
+SLOW_SOURCE = generated_source(400, seed=7)
+
+
+@pytest.fixture(scope="module")
+def server():
+    config = ServiceConfig(port=0, workers=2, pool="thread")
+    with ThreadedServer(config) as threaded:
+        yield threaded
+
+
+@pytest.fixture()
+def client(server):
+    with ServiceClient(port=server.port) as connection:
+        yield connection
+
+
+# -- basic round-trips --------------------------------------------------------
+
+def test_ping_reports_protocol(client):
+    reply = client.ping()
+    assert reply["ok"] is True
+    assert reply["protocol"] == PROTOCOL
+
+
+def test_compile_is_byte_identical_to_direct_pipeline(client):
+    result = client.compile(FIG11_SOURCE, name="fig11")
+    direct = generate_communication(FIG11_SOURCE)
+    assert result["ok"] is True
+    assert result["annotated_source"] == direct.annotated_source()
+    assert (result["reads"], result["writes"]) == direct.communication_count()
+
+
+def test_batch_round_trip(client):
+    reply = client.batch([("fig11", FIG11_SOURCE), ("fig1", FIG1_SOURCE)])
+    assert reply["ok_count"] == 2 and reply["error_count"] == 0
+    names = [result["name"] for result in reply["results"]]
+    assert names == ["fig11", "fig1"]
+    for result in reply["results"]:
+        direct = generate_communication(
+            FIG11_SOURCE if result["name"] == "fig11" else FIG1_SOURCE)
+        assert result["annotated_source"] == direct.annotated_source()
+
+
+def test_per_program_errors_are_data_not_failures(client):
+    result = client.compile("program p\n???\n", name="broken")
+    assert result["ok"] is False
+    assert result["error_type"] == "ParseError"
+    assert result["error"]
+
+
+def test_warm_cache_hits_on_repeat_requests(client):
+    source = generated_source(12, seed=31)
+    first = client.compile(source, name="warmup")
+    second = client.compile(source, name="warmup")
+    assert first["ok"] and second["ok"]
+    assert not first["cache_hit"]
+    assert second["cache_hit"]
+    assert second["annotated_source"] == first["annotated_source"]
+
+
+def test_hardened_mode_reports_rung(client):
+    result = client.compile(FIG11_SOURCE, name="fig11",
+                            options={"hardened": True})
+    assert result["ok"] is True
+    assert result["rung"] == "balanced"
+    assert result["degraded"] is False
+
+
+def test_status_shape(client):
+    client.compile(FIG11_SOURCE, name="fig11")
+    status = client.status()
+    assert status["server"]["protocol"] == PROTOCOL
+    assert status["server"]["pool"] == "thread"
+    assert status["requests"]["completed"] >= 1
+    assert status["requests"]["inflight"] == 0
+    assert set(status["latency"]) == {"queue_s", "compile_s", "total_s"}
+    assert status["latency"]["total_s"]["p50_s"] > 0
+    assert status["cache"]["store"]["stores"] >= 2  # analyzed + prepared
+
+
+# -- concurrency --------------------------------------------------------------
+
+def test_concurrent_clients_get_byte_identical_results(server):
+    corpus = [(f"gen-{i}", generated_source(10 + i, seed=100 + i))
+              for i in range(6)]
+    expected = {name: generate_communication(text).annotated_source()
+                for name, text in corpus}
+    failures = []
+
+    def worker(index):
+        try:
+            with ServiceClient(port=server.port) as connection:
+                for offset in range(len(corpus)):
+                    name, text = corpus[(index + offset) % len(corpus)]
+                    result = connection.compile_retrying(text, name=name)
+                    if not result["ok"]:
+                        failures.append((name, result["error"]))
+                    elif result["annotated_source"] != expected[name]:
+                        failures.append((name, "response corrupted"))
+        except Exception as error:  # pragma: no cover - the assert reports
+            failures.append((index, repr(error)))
+
+    threads = [threading.Thread(target=worker, args=(index,))
+               for index in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert failures == []
+
+
+def test_one_connection_interleaves_request_types(client):
+    # ping / status answered inline while compiles run through the pool
+    assert client.ping()["ok"]
+    result = client.compile(FIG11_SOURCE, name="fig11")
+    assert result["ok"]
+    assert client.status()["requests"]["completed"] >= 1
+    assert client.ping()["ok"]
+
+
+# -- admission: deadlines and backpressure ------------------------------------
+
+def test_deadline_expires_before_slow_compile_finishes():
+    config = ServiceConfig(port=0, workers=1, pool="thread")
+    with ThreadedServer(config) as threaded:
+        with ServiceClient(port=threaded.port) as connection:
+            with pytest.raises(ServiceError) as excinfo:
+                connection.compile(SLOW_SOURCE, name="slow",
+                                   deadline_s=0.005)
+            assert excinfo.value.code == E_DEADLINE
+            # the connection stays usable after an expiry reply
+            assert connection.ping()["ok"]
+            status = connection.status()
+            assert status["admission"]["deadline_expired"] == 1
+            # the abandoned compile still releases its slot eventually,
+            # which the graceful teardown below (stop -> drain) relies on
+
+
+def test_backpressure_rejects_with_retry_hint():
+    config = ServiceConfig(port=0, workers=1, pool="thread", queue_limit=1)
+    with ThreadedServer(config) as threaded:
+        filler_done = threading.Event()
+
+        def filler():
+            with ServiceClient(port=threaded.port) as connection:
+                connection.compile(SLOW_SOURCE, name="filler")
+            filler_done.set()
+
+        thread = threading.Thread(target=filler)
+        thread.start()
+        time.sleep(0.08)  # let the filler occupy the single slot
+        with ServiceClient(port=threaded.port) as connection:
+            with pytest.raises(ServiceError) as excinfo:
+                connection.compile(FIG11_SOURCE, name="refused")
+            assert excinfo.value.code == E_BUSY
+            assert excinfo.value.retry_after_s > 0
+            # the polite loop waits out the backpressure and succeeds
+            result = connection.compile_retrying(FIG11_SOURCE, name="fig11")
+            assert result["ok"]
+            status = connection.status()
+            assert status["admission"]["rejected_busy"] >= 1
+        thread.join()
+        assert filler_done.is_set()
+
+
+def test_batch_admission_counts_each_program():
+    # a batch larger than the whole queue can never be admitted
+    config = ServiceConfig(port=0, workers=1, pool="thread", queue_limit=2)
+    with ThreadedServer(config) as threaded:
+        with ServiceClient(port=threaded.port) as connection:
+            with pytest.raises(ServiceError) as excinfo:
+                connection.batch([(f"p{i}", FIG11_SOURCE) for i in range(3)])
+            assert excinfo.value.code == E_BUSY
+            reply = connection.batch([("a", FIG11_SOURCE),
+                                      ("b", FIG1_SOURCE)])
+            assert reply["ok_count"] == 2
+
+
+# -- drain --------------------------------------------------------------------
+
+def test_drain_completes_in_flight_work_then_refuses():
+    config = ServiceConfig(port=0, workers=1, pool="thread", queue_limit=8)
+    with ThreadedServer(config) as threaded:
+        outcomes = []
+        lock = threading.Lock()
+
+        def in_flight(index):
+            try:
+                with ServiceClient(port=threaded.port) as connection:
+                    result = connection.compile(SLOW_SOURCE,
+                                                name=f"inflight-{index}")
+                    with lock:
+                        outcomes.append(("completed", result["ok"]))
+            except ServiceError as error:
+                with lock:
+                    outcomes.append((error.code, False))
+
+        threads = [threading.Thread(target=in_flight, args=(index,))
+                   for index in range(2)]
+        with ServiceClient(port=threaded.port) as drainer:
+            for thread in threads:
+                thread.start()
+            time.sleep(0.08)  # both requests admitted or queued
+            reply = drainer.drain()
+            assert reply["drained"] is True
+        for thread in threads:
+            thread.join()
+        # everything admitted before the drain completed, correctly
+        assert all(ok for code, ok in outcomes if code == "completed")
+        assert all(code in ("completed", E_DRAINING)
+                   for code, _ in outcomes)
+        assert any(code == "completed" for code, _ in outcomes)
+        # the server is gone: new connections are refused
+        deadline = time.monotonic() + 5
+        while time.monotonic() < deadline:
+            try:
+                socket.create_connection(("127.0.0.1", threaded.port),
+                                         timeout=0.5).close()
+            except OSError:
+                break
+            time.sleep(0.02)
+        else:
+            pytest.fail("server still accepting after drain")
+
+
+# -- the process pool ---------------------------------------------------------
+
+def test_process_pool_round_trip_shares_warmth_on_disk(tmp_path):
+    try:
+        config = ServiceConfig(port=0, workers=1, pool="process",
+                               cache_dir=str(tmp_path / "cache"))
+        threaded = ThreadedServer(config).start()
+    except Exception:
+        pytest.skip("multiprocessing unavailable in this sandbox")
+    try:
+        assert threaded.service.pool_kind == "process"
+        with ServiceClient(port=threaded.port, timeout_s=120) as connection:
+            first = connection.compile(FIG11_SOURCE, name="fig11")
+            second = connection.compile(FIG11_SOURCE, name="fig11")
+            direct = generate_communication(FIG11_SOURCE)
+            assert first["ok"] and second["ok"]
+            assert first["annotated_source"] == direct.annotated_source()
+            assert second["annotated_source"] == direct.annotated_source()
+            # warmth crossed the process boundary through cache_dir
+            assert not first["cache_hit"]
+            assert second["cache_hit"]
+    finally:
+        threaded.stop()
+
+
+# -- protocol abuse over a live socket ----------------------------------------
+
+def test_malformed_lines_get_bad_request_replies(server):
+    with ServiceClient(port=server.port) as connection:
+        # raw non-JSON line down the same socket
+        connection._file.write(b"this is not json\n")
+        connection._file.flush()
+        from repro.service import decode_message
+        reply = decode_message(connection._file.readline())
+        assert reply["ok"] is False
+        assert reply["error"]["code"] == E_BAD_REQUEST
+
+
+def test_unknown_request_type_is_rejected(client):
+    with pytest.raises(ServiceError) as excinfo:
+        client.request({"type": "explode"})
+    assert excinfo.value.code == E_BAD_REQUEST
+
+
+def test_compile_without_source_is_rejected(client):
+    with pytest.raises(ServiceError) as excinfo:
+        client.request({"type": "compile", "name": "empty"})
+    assert excinfo.value.code == E_BAD_REQUEST
+    assert "source" in str(excinfo.value)
+
+
+def test_bad_deadline_and_options_are_rejected(client):
+    with pytest.raises(ServiceError) as excinfo:
+        client.request({"type": "compile", "source": FIG11_SOURCE,
+                        "deadline_s": -1})
+    assert excinfo.value.code == E_BAD_REQUEST
+    with pytest.raises(ServiceError) as excinfo:
+        client.request({"type": "compile", "source": FIG11_SOURCE,
+                        "options": {"hardend": True}})
+    assert excinfo.value.code == E_BAD_REQUEST
+    assert "unknown option" in str(excinfo.value)
+
+
+def test_empty_batch_is_rejected(client):
+    with pytest.raises(ServiceError) as excinfo:
+        client.request({"type": "batch", "programs": []})
+    assert excinfo.value.code == E_BAD_REQUEST
+
+
+def test_blank_lines_are_ignored(client):
+    connection = client
+    connection._file.write(b"\n")
+    connection._file.flush()
+    assert connection.ping()["ok"]  # server skipped the blank line

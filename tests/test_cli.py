@@ -397,3 +397,142 @@ def test_batch_solver_backend(fig11_file):
                         "--solver-backend", "reference"])
     assert code == 0
     assert "1/1 programs ok" in output
+
+
+def test_batch_jobs_zero_means_one_per_cpu(fig11_file):
+    code, output = run(["batch", fig11_file, "--jobs", "0"])
+    assert code == 0
+    assert "1/1 programs ok" in output
+
+
+# -- the compile service: repro serve / repro request -------------------------
+
+@pytest.fixture(scope="module")
+def service():
+    from repro.service import ServiceConfig, ThreadedServer
+
+    config = ServiceConfig(port=0, workers=2, pool="thread")
+    with ThreadedServer(config) as server:
+        yield server
+
+
+def request_argv(service, *argv):
+    return ["request", *argv, "--port", str(service.port)]
+
+
+def test_request_ping(service):
+    code, output = run(request_argv(service, "ping"))
+    assert code == 0
+    assert output.startswith("pong from 127.0.0.1:")
+    assert "repro-service/1" in output
+
+
+def test_request_compile_prints_annotated_source(service, fig11_file):
+    code, output = run(request_argv(service, "compile", fig11_file))
+    assert code == 0
+    assert "READ_Send{x(11:n + 10)}" in output
+    assert "read and" in output and "write placements" in output
+
+
+def test_request_compile_matches_annotate_locally(service, fig11_file):
+    _, local = run(["annotate", fig11_file])
+    _, remote = run(request_argv(service, "compile", fig11_file))
+    # identical annotated source and summary; the service may only
+    # append a "[cached]" marker to the summary line
+    assert remote.startswith(local.rstrip("\n"))
+
+
+def test_request_compile_json(service, fig11_file):
+    import json
+
+    code, output = run(request_argv(service, "compile", fig11_file,
+                                    "--json"))
+    assert code == 0
+    payload = json.loads(output)
+    assert payload["ok"] is True and payload["reads"] > 0
+
+
+def test_request_compile_hardened(service, fig11_file):
+    code, output = run(request_argv(service, "compile", fig11_file,
+                                    "--hardened"))
+    assert code == 0
+    assert "[rung=balanced]" in output
+
+
+def test_request_compile_per_program_failure_exits_one(service, bad_file):
+    code, output = run(request_argv(service, "compile", bad_file))
+    assert code == 1
+    assert "error:" in output
+
+
+def test_request_batch_directory(service, corpus_dir):
+    code, output = run(request_argv(service, "batch", corpus_dir))
+    assert code == 0
+    assert "fig11.f: reads=" in output
+    assert "2/2 programs ok" in output
+
+
+def test_request_status_json(service, fig11_file):
+    import json
+
+    run(request_argv(service, "compile", fig11_file))
+    code, output = run(request_argv(service, "status"))
+    assert code == 0
+    payload = json.loads(output)
+    assert payload["server"]["pool"] == "thread"
+    assert payload["requests"]["completed"] >= 1
+
+
+def test_request_compile_needs_a_file(capsys, service):
+    assert_clean_failure(capsys, request_argv(service, "compile"))
+
+
+def test_request_refused_connection_error_hygiene(capsys):
+    # a port nothing listens on: one clean line, no traceback
+    assert_clean_failure(capsys, ["request", "ping", "--port", "1"])
+
+
+def test_request_drain_shuts_the_server_down():
+    import socket
+
+    from repro.service import ServiceConfig, ThreadedServer
+
+    config = ServiceConfig(port=0, workers=1, pool="thread")
+    with ThreadedServer(config) as server:
+        code, output = run(["request", "drain", "--port", str(server.port)])
+        assert code == 0
+        assert output.startswith("drained:")
+        import time
+        deadline = time.monotonic() + 5
+        while time.monotonic() < deadline:
+            try:
+                socket.create_connection(("127.0.0.1", server.port),
+                                         timeout=0.5).close()
+            except OSError:
+                break
+            time.sleep(0.02)
+        else:
+            pytest.fail("server still accepting after drain")
+
+
+def test_serve_parser_round_trip():
+    from repro.cli import build_parser
+
+    args = build_parser().parse_args(
+        ["serve", "--port", "0", "--workers", "3", "--pool", "thread",
+         "--queue-limit", "5", "--deadline", "1.5", "--hardened",
+         "--no-cache"])
+    assert args.command == "serve"
+    assert args.port == 0 and args.workers == 3 and args.pool == "thread"
+    assert args.queue_limit == 5 and args.deadline == 1.5
+    assert args.hardened and args.no_cache
+
+
+def test_serve_defaults_to_the_service_port():
+    from repro.cli import build_parser
+    from repro.service import DEFAULT_PORT
+
+    args = build_parser().parse_args(["serve"])
+    assert args.port == DEFAULT_PORT
+    args = build_parser().parse_args(["request", "ping"])
+    assert args.port == DEFAULT_PORT
