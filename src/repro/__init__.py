@@ -77,6 +77,12 @@ from repro.service import (
     ServiceError,
     ThreadedServer,
 )
+from repro.fleet import (
+    ChaosPlan,
+    FleetConfig,
+    FleetRouter,
+    LocalFleet,
+)
 from repro.machine import (
     ConditionPolicy,
     FaultPlan,
@@ -134,6 +140,10 @@ __all__ = [
     "ServiceConfig",
     "ServiceError",
     "ThreadedServer",
+    "ChaosPlan",
+    "FleetConfig",
+    "FleetRouter",
+    "LocalFleet",
     "ConditionPolicy",
     "FaultPlan",
     "MachineModel",

@@ -24,17 +24,26 @@ Two properties are load-bearing:
 
 The cache is in-memory by default; give it a ``directory`` to persist
 entries (one file per entry, written atomically via rename so a crashed
-worker never leaves a torn entry behind).
+worker never leaves a torn entry behind; the ``*.tmp`` staging file a
+worker killed mid-write leaks is swept the next time a cache opens the
+directory).
 """
 
 import hashlib
 import os
 import pickle
 import tempfile
+import time
 
 #: Bump when the pickled payload layout changes: fingerprints include it,
 #: so stale on-disk entries from older layouts simply miss.
 CACHE_SCHEMA = "repro-batch-cache/1"
+
+#: A ``*.tmp`` staging file older than this is an orphan — its writer
+#: crashed between :func:`tempfile.mkstemp` and the atomic rename — and
+#: is swept when a cache opens the directory.  Younger files may belong
+#: to a live writer in another process and are left alone.
+TMP_SWEEP_AGE_S = 60.0
 
 
 def source_fingerprint(text, **options):
@@ -70,8 +79,37 @@ class PipelineCache:
         self.misses = 0
         self.stores = 0
         self.corrupt = 0
+        self.swept_tmp = 0
         if directory is not None:
             os.makedirs(directory, exist_ok=True)
+            self.swept_tmp = self._sweep_orphaned_tmp()
+
+    def _sweep_orphaned_tmp(self, max_age_s=TMP_SWEEP_AGE_S):
+        """Remove ``*.tmp`` staging files a crashed writer left behind.
+
+        :meth:`put` writes entries to a ``mkstemp`` file and renames it
+        into place; a worker killed between the two leaves the
+        temporary behind forever (the atomic rename means it never
+        becomes an entry — it just leaks disk).  Sweeping on open heals
+        the directory; the age gate keeps a concurrently *live* writer
+        in a sibling process safe."""
+        swept = 0
+        cutoff = time.time() - max_age_s
+        try:
+            names = os.listdir(self.directory)
+        except OSError:
+            return swept
+        for name in names:
+            if not name.endswith(".tmp"):
+                continue
+            path = os.path.join(self.directory, name)
+            try:
+                if os.path.getmtime(path) <= cutoff:
+                    os.unlink(path)
+                    swept += 1
+            except OSError:
+                pass  # racing sweeper or live writer won; fine either way
+        return swept
 
     # -- keying --------------------------------------------------------------
 
@@ -175,6 +213,7 @@ class PipelineCache:
             "misses": self.misses,
             "stores": self.stores,
             "corrupt": self.corrupt,
+            "swept_tmp": self.swept_tmp,
             "hit_rate": self.hit_rate,
             "memory_entries": len(self._memory),
             "directory": self.directory,

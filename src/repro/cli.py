@@ -21,6 +21,9 @@
     python -m repro serve [--host H] [--port P] [--workers N]
                           [--queue-limit N] [--deadline S] [--hardened]
                           [--cache DIR] [--no-cache] [--pool KIND]
+    python -m repro fleet [--shards K] [--host H] [--port P]
+                          [--workers N] [--pool KIND] [--queue-limit N]
+                          [--hardened] [--hedge S] [--heartbeat S]
     python -m repro request ACTION [FILES...] [--host H] [--port P]
                                    [--deadline S] [--hardened] [--json]
 
@@ -47,9 +50,14 @@ the rest of the corpus; the command exits 1 when any program failed.
 
 ``serve`` runs the resident compile service (``docs/serving.md``): a
 warm-cache ``asyncio`` TCP server with bounded admission, backpressure,
-per-request deadlines, and graceful drain; ``request`` sends one
-request (``compile``, ``batch``, ``status``, ``drain``, ``ping``) to a
-running service and renders the reply.
+per-request deadlines, and graceful drain; ``fleet`` runs ``--shards``
+of them behind a fault-tolerant router (consistent-hash placement,
+circuit breakers, transparent failover — ``docs/robustness.md``) that
+speaks the same protocol on one address; ``request`` sends one request
+(``compile``, ``batch``, ``status``, ``drain``, ``ping``) to a running
+service *or* fleet and renders the reply — ``status`` shows admission,
+cache, latency, and supervision counters for a service, and the
+failover/breaker/shard table for a fleet.
 
 ``--hardened`` routes placement through the self-checking
 :class:`~repro.commgen.hardened.HardenedPipeline`; ``--faults`` injects
@@ -222,8 +230,36 @@ def build_parser():
     serve.add_argument("--no-cache", action="store_true",
                        help="disable the pipeline cache entirely")
 
+    fleet = commands.add_parser(
+        "fleet", help="run a fault-tolerant fleet of compile shards "
+                      "behind one router (docs/robustness.md)")
+    fleet.add_argument("--shards", type=int, default=3,
+                       help="number of compile shards (default 3)")
+    fleet.add_argument("--host", default="127.0.0.1",
+                       help="router listen address (shards bind "
+                            "ephemeral ports on the same host)")
+    fleet.add_argument("--port", type=int, default=DEFAULT_SERVICE_PORT,
+                       help=f"router listen port (default "
+                            f"{DEFAULT_SERVICE_PORT}, 0 = ephemeral)")
+    fleet.add_argument("--workers", type=int, default=0,
+                       help="workers per shard (default 0 = one per CPU)")
+    fleet.add_argument("--pool", choices=["auto", "process", "thread"],
+                       default="auto",
+                       help="worker pool kind for every shard")
+    fleet.add_argument("--queue-limit", type=int, default=32,
+                       help="admission bound per shard")
+    fleet.add_argument("--hardened", action="store_true",
+                       help="shards compile through the self-checking "
+                            "degrading pipeline by default")
+    fleet.add_argument("--hedge", type=float, default=None, metavar="S",
+                       help="duplicate an unanswered forward on another "
+                            "shard after S seconds (default: off)")
+    fleet.add_argument("--heartbeat", type=float, default=0.25, metavar="S",
+                       help="shard health-check interval in seconds")
+
     request = commands.add_parser(
-        "request", help="send one request to a running compile service")
+        "request", help="send one request to a running compile service "
+                        "or fleet router")
     request.add_argument("action",
                          choices=["compile", "batch", "status", "drain",
                                   "ping"])
@@ -485,6 +521,93 @@ def command_serve(args, out):
     run_service(config, out=out)
 
 
+def command_fleet(args, out):
+    from repro.fleet import FleetConfig, run_fleet
+    from repro.service import ServiceConfig
+
+    service_config = ServiceConfig(
+        host=args.host,
+        workers=args.workers,
+        pool=args.pool,
+        queue_limit=args.queue_limit,
+        hardened=args.hardened,
+    )
+    fleet_config = FleetConfig(
+        host=args.host,
+        port=args.port,
+        heartbeat_s=args.heartbeat,
+        hedge_delay_s=args.hedge,
+    )
+
+    def announce(fleet):
+        shards = ", ".join(f"{shard.host}:{shard.port}"
+                           for shard in fleet.shards)
+        out.write(f"repro-fleet router listening on "
+                  f"{fleet.host}:{fleet.port} "
+                  f"({len(fleet.shards)} shards: {shards})\n")
+        if hasattr(out, "flush"):
+            out.flush()
+
+    run_fleet(n_shards=args.shards, service_config=service_config,
+              fleet_config=fleet_config, announce=announce)
+
+
+def format_status(status, out):
+    """Human rendering of a ``status`` reply — a compile service's
+    admission/cache/latency/supervision view, or a fleet router's
+    failover counters and shard table."""
+    server = status.get("server", {})
+    if server.get("role") == "fleet-router":
+        fleet = status["fleet"]
+        out.write(f"fleet router {server['host']}:{server['port']} — "
+                  f"{server['shards']} shards, "
+                  f"uptime {fleet['uptime_s']:.0f}s\n")
+        out.write(f"  requests: received={fleet['received']} "
+                  f"forwards={fleet['forwards']} "
+                  f"completed={fleet['completed']} "
+                  f"unavailable={fleet['unavailable']}\n")
+        out.write(f"  failover: rerouted={fleet['rerouted']} "
+                  f"spilled={fleet['spilled']} "
+                  f"hedges={fleet['hedges']} "
+                  f"(won {fleet['hedge_wins']}) "
+                  f"breaker_opens={fleet['breaker_opens']}\n")
+        for shard in status.get("shards", ()):
+            out.write(f"  {shard['name']} {shard['host']}:{shard['port']}: "
+                      f"{shard['state']} inflight={shard['inflight']} "
+                      f"forwards={shard['forwards']} "
+                      f"failures={shard['failures']} "
+                      f"opens={shard['opens']}\n")
+        return
+    requests = status["requests"]
+    admission = status["admission"]
+    supervision = status.get("supervision", {})
+    cache = status["cache"]
+    total = status["latency"]["total_s"]
+    out.write(f"service {server.get('host')}:{server.get('port')} — "
+              f"workers={server.get('workers')} ({server.get('pool')}), "
+              f"uptime {status['uptime_s']:.0f}s\n")
+    out.write(f"  requests: received={requests['received']} "
+              f"admitted={requests['admitted']} "
+              f"completed={requests['completed']} "
+              f"failed={requests['failed']} "
+              f"inflight={requests['inflight']} "
+              f"(peak {requests['queue_peak']})\n")
+    out.write(f"  admission: busy={admission['rejected_busy']} "
+              f"draining={admission['rejected_draining']} "
+              f"deadline={admission['deadline_expired']} "
+              f"bad={admission['bad_requests']} "
+              f"internal={admission['internal_errors']}\n")
+    out.write(f"  supervision: "
+              f"pool_rebuilds={supervision.get('pool_rebuilds', 0)} "
+              f"requeued={supervision.get('requeued', 0)}\n")
+    out.write(f"  cache: {cache['hits']}/{cache['lookups']} hits "
+              f"({cache['hit_rate']:.0%})\n")
+    out.write(f"  latency: p50={total['p50_s'] * 1e3:.1f}ms "
+              f"p90={total['p90_s'] * 1e3:.1f}ms "
+              f"p99={total['p99_s'] * 1e3:.1f}ms "
+              f"over {total['count']} requests\n")
+
+
 def command_request(args, out):
     import json
 
@@ -510,11 +633,21 @@ def command_request(args, out):
                 out.write(f"pong from {args.host}:{args.port} "
                           f"({response['protocol']})\n")
         elif args.action == "status":
-            dump(client.status())
+            status = client.status()
+            if args.json:
+                dump(status)
+            else:
+                format_status(status, out)
         elif args.action == "drain":
             response = client.drain()
             if args.json:
                 dump(response)
+            elif "shards" in response:  # fleet router
+                outcomes = ", ".join(
+                    f"{name}: {outcome}"
+                    for name, outcome in sorted(response["shards"].items()))
+                out.write(f"fleet drained: {response['completed']} "
+                          f"completed ({outcomes})\n")
             else:
                 out.write(f"drained: {response['completed']} completed, "
                           f"{response['failed']} failed\n")
@@ -588,6 +721,7 @@ COMMANDS = {
     "pre": command_pre,
     "batch": command_batch,
     "serve": command_serve,
+    "fleet": command_fleet,
     "request": command_request,
     "explain": command_explain,
 }

@@ -123,6 +123,14 @@ def check_placement_dual(ifg, problem, placement, max_paths=200,
     on which sufficiency is exact.  Callers that previously ran
     ``check_placement`` twice (once per ``min_trips`` value) get both
     answers for a single ``max_paths``-bounded enumeration and replay.
+
+    When the full enumeration truncates at ``max_paths``, filtering it
+    is no longer sound for the min-trip verdict: the DFS budget can be
+    spent entirely on zero-trip prefixes, leaving few or *no* min-trip
+    paths and a vacuously clean sufficiency report.  In that case the
+    min-trip report is computed from its own ``min_trips=1``
+    enumeration, which dedicates the whole budget to the paths the
+    verdict depends on.
     """
     paths = enumerate_paths(ifg, max_paths=max_paths,
                             max_node_visits=max_node_visits)
@@ -136,8 +144,20 @@ def check_placement_dual(ifg, problem, placement, max_paths=200,
             trip_paths += 1
             trip_violations.extend(found)
     truncated = len(paths) >= max_paths
+    trip_truncated = truncated
+    if truncated:
+        trip_enum = enumerate_paths(ifg, max_paths=max_paths,
+                                    max_node_visits=max_node_visits,
+                                    min_trips=1)
+        trip_violations = []
+        for index, path in enumerate(trip_enum):
+            trip_violations.extend(
+                _replay(ifg, problem, placement, path, index))
+        trip_paths = len(trip_enum)
+        trip_truncated = len(trip_enum) >= max_paths
     return (CheckReport(violations, len(paths), truncated=truncated),
-            CheckReport(trip_violations, trip_paths, truncated=truncated))
+            CheckReport(trip_violations, trip_paths,
+                        truncated=trip_truncated))
 
 
 def _path_has_min_trips(forest, path):

@@ -1,0 +1,52 @@
+"""The fault-tolerant compile fleet (``docs/serving.md``,
+``docs/robustness.md``).
+
+One :class:`~repro.service.server.CompileService` survives worker
+crashes (supervised pool rebuilds); this package makes *shards* of them
+survive each other:
+
+* :class:`FleetRouter` — one address in front of K shards, speaking the
+  same wire protocol; consistent-hashes compiles by source digest for
+  cache affinity, re-routes around dead shards, spills around busy
+  ones, optionally hedges stragglers;
+* :class:`CircuitBreaker` / :class:`HashRing` — the health and
+  placement mechanisms under the router;
+* :class:`LocalFleet` / :class:`ThreadedRouter` — the in-process
+  harness (K real shards + router, real sockets, one call);
+* :class:`ChaosPlan` / :func:`run_chaos` — seeded, scripted failure
+  injection against a live fleet, verified byte-for-byte by
+  ``python -m repro.obs.bench --fleet``.
+"""
+
+from repro.fleet.chaos import (
+    ACTIONS,
+    ChaosController,
+    ChaosEvent,
+    ChaosPlan,
+    run_chaos,
+)
+from repro.fleet.harness import LocalFleet, ThreadedRouter, run_fleet
+from repro.fleet.health import CircuitBreaker, HashRing
+from repro.fleet.router import (
+    FleetConfig,
+    FleetMetrics,
+    FleetRouter,
+    ShardHandle,
+)
+
+__all__ = [
+    "ACTIONS",
+    "ChaosController",
+    "ChaosEvent",
+    "ChaosPlan",
+    "CircuitBreaker",
+    "FleetConfig",
+    "FleetMetrics",
+    "FleetRouter",
+    "HashRing",
+    "LocalFleet",
+    "ShardHandle",
+    "ThreadedRouter",
+    "run_chaos",
+    "run_fleet",
+]

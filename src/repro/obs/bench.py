@@ -60,6 +60,21 @@ corrupted, or failed, when the warm resident server fails to double the
 cold baseline's throughput, or when the drain left admitted work
 unfinished.
 
+**Fleet chaos** — the fault-tolerant fleet's reason to exist
+(``docs/robustness.md``)::
+
+    python -m repro.obs.bench --fleet --output BENCH_fleet.json --check
+
+stands up a :class:`~repro.fleet.harness.LocalFleet` (K real shards
+behind a :class:`~repro.fleet.router.FleetRouter`) and drives a request
+stream through it while a seeded :class:`~repro.fleet.chaos.ChaosPlan`
+kills a shard, crashes a worker, and severs connections mid-run.  Every
+response is verified byte-identical against a direct in-process
+compile.  ``--check`` exits nonzero when any request was lost,
+corrupted, or failed, or when any scripted chaos event failed to
+execute — the artifact is the proof that the scripted failures really
+happened *and* nothing was lost to them.
+
 Wall-clock fields end in ``_s`` (speedups are ratios of wall-clock and
 carry the suffix too); everything else is deterministic.
 """
@@ -79,6 +94,7 @@ SCHEMA = "repro-bench-solver/1"
 BATCH_SCHEMA = "repro-bench-batch/1"
 KERNEL_SCHEMA = "repro-bench-kernel/1"
 SERVICE_SCHEMA = "repro-bench-service/1"
+FLEET_SCHEMA = "repro-bench-fleet/1"
 
 #: The size ladder — kept in sync with benchmarks/test_bench_scaling_linear.py.
 SIZES = (40, 160, 640)
@@ -496,6 +512,106 @@ def _drain_probe(port, seed=0, in_flight=4, probe_size=60):
     }
 
 
+def fleet_chaos(n_shards=3, n_requests=24, corpus_size=8, size=14, seed=0,
+                plan=None, workers=2, queue_limit=16):
+    """Drive a live fleet through scripted chaos; return the
+    ``BENCH_fleet.json`` payload.
+
+    Phases:
+
+    1. **oracle** — every distinct corpus program is compiled directly
+       in-process, pinning the expected byte-exact output;
+    2. **chaos run** — a :class:`~repro.fleet.harness.LocalFleet`
+       (``n_shards`` real shards behind a router) serves ``n_requests``
+       requests while the seeded plan kills a shard, crashes a worker,
+       and severs connections (:func:`repro.fleet.chaos.run_chaos`);
+    3. **verdict** — every reply is compared byte for byte against the
+       oracle; the gates are *zero lost, zero corrupted, zero failed*
+       and *every scripted chaos event executed*.
+    """
+    from repro.batch.driver import compile_one
+    from repro.fleet import ChaosPlan, FleetConfig, LocalFleet, run_chaos
+    from repro.service import ServiceConfig
+
+    plan = plan if plan is not None else ChaosPlan(seed=seed)
+    corpus = batch_corpus(n_programs=corpus_size, size=size, seed=seed)
+
+    # Phase 1: the oracle.
+    expected = {}
+    for name, text in corpus:
+        compiled = compile_one(name, text, cache=None)
+        if not compiled.ok:
+            raise RuntimeError(f"bench corpus program {name} failed: "
+                               f"{compiled.error}")
+        expected[name] = compiled.annotated_source
+
+    # Phase 2: the chaos run.
+    stream = [corpus[index % len(corpus)] for index in range(n_requests)]
+    service_config = ServiceConfig(pool="thread", workers=workers,
+                                   queue_limit=queue_limit)
+    fleet_config = FleetConfig(heartbeat_s=0.1, reset_timeout_s=0.3)
+    with LocalFleet(n_shards=n_shards, service_config=service_config,
+                    fleet_config=fleet_config) as fleet:
+        report = run_chaos(fleet, stream, plan)
+
+    # Phase 3: the verdict.
+    corrupted = failed = 0
+    latencies = []
+    for row in report["results"]:
+        if row["lost"]:
+            continue
+        latencies.append(row["latency_s"])
+        result = row["result"]
+        if not result.get("ok"):
+            failed += 1
+        elif result.get("annotated_source") != expected[row["name"]]:
+            corrupted += 1
+    latencies.sort()
+    scripted = plan.script(n_shards, n_requests)
+    executed = [event for event in report["events"] if "error" not in event]
+    chaos_executed = (len(executed) == len(scripted)
+                      and {e["action"] for e in executed}
+                      >= {e.action for e in scripted})
+    clean = (report["lost"] == 0 and corrupted == 0 and failed == 0)
+    return {
+        "schema": FLEET_SCHEMA,
+        "n_shards": n_shards,
+        "n_requests": n_requests,
+        "corpus_size": corpus_size,
+        "program_size": size,
+        "seed": seed,
+        "chaos_plan": {
+            "seed": plan.seed,
+            "kills": plan.kills,
+            "worker_crashes": plan.worker_crashes,
+            "severs": plan.severs,
+            "delays": plan.delays,
+            "delay_s": plan.delay_s,
+        },
+        "events": report["events"],
+        "elapsed_s": report["elapsed_s"],
+        "requests": {
+            "total": n_requests,
+            "completed": len(latencies),
+            "lost": report["lost"],
+            "corrupted": corrupted,
+            "failed": failed,
+        },
+        "latency": {
+            "p50_s": _exact_percentile(latencies, 0.5),
+            "p90_s": _exact_percentile(latencies, 0.9),
+            "p99_s": _exact_percentile(latencies, 0.99),
+            "mean_s": sum(latencies) / len(latencies) if latencies else 0.0,
+            "max_s": latencies[-1] if latencies else 0.0,
+        },
+        "router": report["router"],
+        "supervision": report["supervision"],
+        # the two --check gates
+        "zero_lost_or_corrupted": clean,
+        "all_chaos_executed": chaos_executed,
+    }
+
+
 def write_bench_json(path, report=None):
     """Write (and return) the payload; ``report=None`` measures fresh."""
     if report is None:
@@ -512,9 +628,10 @@ def main(argv=None):
         description="measure the solver's O(E) trajectory "
                     "(BENCH_solver.json), the batch layer's throughput "
                     "(--batch, BENCH_batch.json), or the planned "
-                    "kernel's speedup (--kernel, BENCH_kernel.json), or "
+                    "kernel's speedup (--kernel, BENCH_kernel.json), "
                     "the resident service's throughput (--service, "
-                    "BENCH_service.json)")
+                    "BENCH_service.json), or the fleet's behavior under "
+                    "chaos (--fleet, BENCH_fleet.json)")
     parser.add_argument("--output", default=None,
                         help="where to write the JSON payload (default: "
                              "BENCH_solver.json, BENCH_batch.json with "
@@ -546,8 +663,20 @@ def main(argv=None):
                              "against the cold one-shot baseline")
     parser.add_argument("--clients", type=int, default=8,
                         help="concurrent client threads for --service")
-    parser.add_argument("--requests", type=int, default=12,
-                        help="requests per client for --service")
+    parser.add_argument("--requests", type=int, default=None,
+                        help="requests per client for --service "
+                             "(default 12); total requests for --fleet "
+                             "(default 24)")
+    parser.add_argument("--fleet", action="store_true",
+                        help="drive a local compile fleet through "
+                             "scripted chaos (shard kill, worker crash, "
+                             "severed connections) and verify every "
+                             "response byte-identical")
+    parser.add_argument("--shards", type=int, default=3,
+                        help="shard count for --fleet")
+    parser.add_argument("--chaos", metavar="SPEC", default=None,
+                        help="chaos plan for --fleet, e.g. "
+                             "'kills=1,crashes=1,severs=2,seed=7'")
     args = parser.parse_args(argv)
     if args.kernel:
         return _main_kernel(args)
@@ -555,6 +684,8 @@ def main(argv=None):
         return _main_batch(args)
     if args.service:
         return _main_service(args)
+    if args.fleet:
+        return _main_fleet(args)
     return _main_solver(args)
 
 
@@ -626,8 +757,9 @@ def _main_batch(args):
 
 def _main_service(args):
     output = args.output or "BENCH_service.json"
+    requests = 12 if args.requests is None else args.requests
     report = service_throughput(n_clients=args.clients,
-                                requests_per_client=args.requests)
+                                requests_per_client=requests)
     write_bench_json(output, report)
     for mode, row in report["modes"].items():
         print(f"{mode}: {row['requests_per_second_s']:.1f} requests/s "
@@ -651,6 +783,45 @@ def _main_service(args):
               "dropped, corrupted, or failed; the warm service did not "
               "double the cold baseline; or drain left admitted work "
               "unfinished)", file=sys.stderr)
+        return 1
+    return 0
+
+
+def _main_fleet(args):
+    from repro.fleet import ChaosPlan
+
+    output = args.output or "BENCH_fleet.json"
+    requests = 24 if args.requests is None else args.requests
+    plan = ChaosPlan.parse(args.chaos) if args.chaos else None
+    report = fleet_chaos(n_shards=args.shards, n_requests=requests,
+                         plan=plan)
+    write_bench_json(output, report)
+    for event in report["events"]:
+        verdict = event.get("error") or event.get("detail", "")
+        print(f"chaos @request {event['at_request']}: {event['action']} "
+              f"-> {verdict}")
+    counts = report["requests"]
+    latency = report["latency"]
+    print(f"requests: {counts['completed']}/{counts['total']} completed "
+          f"(lost={counts['lost']}, corrupted={counts['corrupted']}, "
+          f"failed={counts['failed']}) in {report['elapsed_s']:.2f}s")
+    print(f"latency: p50={latency['p50_s'] * 1e3:.1f}ms "
+          f"p90={latency['p90_s'] * 1e3:.1f}ms "
+          f"p99={latency['p99_s'] * 1e3:.1f}ms")
+    fleet = report["router"]["fleet"]
+    print(f"router: forwards={fleet['forwards']} "
+          f"rerouted={fleet['rerouted']} spilled={fleet['spilled']} "
+          f"breaker_opens={fleet['breaker_opens']}; supervision: "
+          f"pool_rebuilds={report['supervision']['pool_rebuilds']} "
+          f"requeued={report['supervision']['requeued']}")
+    print(f"wrote {output} "
+          f"(zero_lost_or_corrupted={report['zero_lost_or_corrupted']}, "
+          f"all_chaos_executed={report['all_chaos_executed']})")
+    if args.check and not (report["zero_lost_or_corrupted"]
+                           and report["all_chaos_executed"]):
+        print("error: fleet chaos regressed (a request was lost, "
+              "corrupted, or failed under chaos, or a scripted chaos "
+              "event did not execute)", file=sys.stderr)
         return 1
     return 0
 

@@ -23,7 +23,7 @@ amortize across requests instead of dying with each invocation:
   metrics behind the ``status`` request type.
 """
 
-from repro.service.client import ServiceClient
+from repro.service.client import ServiceClient, ServiceConnectionError
 from repro.service.config import DEFAULT_PORT, ServiceConfig
 from repro.service.metrics import ServiceMetrics
 from repro.service.protocol import (
@@ -32,6 +32,7 @@ from repro.service.protocol import (
     E_DEADLINE,
     E_DRAINING,
     E_INTERNAL,
+    E_UNAVAILABLE,
     ERROR_CODES,
     MAX_LINE_BYTES,
     PROTOCOL,
@@ -53,12 +54,14 @@ __all__ = [
     "E_DEADLINE",
     "E_DRAINING",
     "E_INTERNAL",
+    "E_UNAVAILABLE",
     "MAX_LINE_BYTES",
     "PROTOCOL",
     "ProtocolError",
     "REQUEST_TYPES",
     "ServiceClient",
     "ServiceConfig",
+    "ServiceConnectionError",
     "ServiceError",
     "ServiceMetrics",
     "ThreadedServer",

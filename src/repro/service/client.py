@@ -6,8 +6,12 @@ by the auto-assigned ``id``.  Refusals and failures surface as
 :class:`~repro.service.protocol.ServiceError` (a
 :class:`~repro.util.errors.ReproError`, so the CLI's one-line error
 handling applies); :meth:`compile_retrying` additionally honors the
-server's ``retry_after_s`` backpressure hint — the polite loop a load
-generator or batch submitter should use.
+server's ``retry_after_s`` backpressure hint **and** rides out
+connection-level failures — refused connections while a server (or
+fleet shard) restarts, resets when a connection is severed mid-request
+— by reconnecting with exponential backoff.  Compiles are pure
+functions of (source, options), so resending one that may or may not
+have completed is always safe.
 
 ::
 
@@ -16,18 +20,37 @@ generator or batch submitter should use.
         print(result["annotated_source"], end="")
 """
 
+import contextlib
 import socket
 import time
 
 from repro.service.config import DEFAULT_PORT
 from repro.service.protocol import (
     E_BUSY,
-    E_INTERNAL,
+    E_UNAVAILABLE,
     ServiceError,
     decode_message,
     encode_message,
     raise_for_error,
 )
+
+#: :meth:`ServiceClient.compile_retrying` retries these error codes —
+#: ``busy`` (admission backpressure) and ``unavailable`` (a fleet
+#: router with no healthy shard right now).  Everything else is a real
+#: answer and propagates.
+RETRYABLE_CODES = (E_BUSY, E_UNAVAILABLE)
+
+#: Backoff for connection-level retries: ``base * 2**attempt`` capped.
+RETRY_BACKOFF_BASE_S = 0.05
+RETRY_BACKOFF_CAP_S = 1.0
+
+
+class ServiceConnectionError(ServiceError):
+    """The connection died mid-round-trip (reset, or a clean close with
+    no reply) — retryable, since the request can be resent verbatim."""
+
+    def __init__(self, message):
+        super().__init__(E_UNAVAILABLE, message)
 
 
 class ServiceClient:
@@ -36,15 +59,34 @@ class ServiceClient:
     def __init__(self, host="127.0.0.1", port=DEFAULT_PORT, timeout_s=30.0):
         self.host = host
         self.port = port
-        self._sock = socket.create_connection((host, port), timeout=timeout_s)
-        self._file = self._sock.makefile("rwb")
+        self.timeout_s = timeout_s
+        self._sock = None
+        self._file = None
         self._next_id = 0
+        self._connect()
+
+    def _connect(self):
+        self._sock = socket.create_connection((self.host, self.port),
+                                              timeout=self.timeout_s)
+        self._file = self._sock.makefile("rwb")
 
     def close(self):
         try:
-            self._file.close()
+            if self._file is not None:
+                with contextlib.suppress(OSError):
+                    self._file.close()
         finally:
-            self._sock.close()
+            self._file = None
+            if self._sock is not None:
+                with contextlib.suppress(OSError):
+                    self._sock.close()
+            self._sock = None
+
+    def reconnect(self):
+        """Drop the current connection (if any) and dial again —
+        raises the usual socket errors when the server is down."""
+        self.close()
+        self._connect()
 
     def __enter__(self):
         return self
@@ -56,7 +98,11 @@ class ServiceClient:
 
     def request(self, body):
         """Send one request, read one response; return the ``ok``
-        response dict or raise :class:`ServiceError`."""
+        response dict or raise :class:`ServiceError`
+        (:class:`ServiceConnectionError` when the connection died
+        before a reply arrived)."""
+        if self._file is None:
+            self.reconnect()
         self._next_id += 1
         body = dict(body)
         body.setdefault("id", self._next_id)
@@ -64,7 +110,7 @@ class ServiceClient:
         self._file.flush()
         line = self._file.readline()
         if not line:
-            raise ServiceError(E_INTERNAL, "connection closed by server")
+            raise ServiceConnectionError("connection closed by server")
         return raise_for_error(decode_message(line))
 
     # -- request types -------------------------------------------------------
@@ -107,14 +153,35 @@ class ServiceClient:
 
     def compile_retrying(self, source, name="<client>", deadline_s=None,
                          options=None, max_attempts=100, sleep=time.sleep):
-        """:meth:`compile`, but wait out ``busy`` backpressure replies
-        using the server's ``retry_after_s`` hint."""
+        """:meth:`compile`, but survive the transient failures a polite
+        load generator should: ``busy`` backpressure (wait out the
+        server's ``retry_after_s`` hint), ``unavailable`` replies from a
+        fleet router between healthy shards, and connection-level
+        failures — refused while the server restarts, reset when severed
+        mid-request — by reconnecting under exponential backoff."""
+        failures = 0
         for attempt in range(max_attempts):
+            last = attempt == max_attempts - 1
             try:
                 return self.compile(source, name=name, deadline_s=deadline_s,
                                     options=options)
-            except ServiceError as error:
-                if error.code != E_BUSY or attempt == max_attempts - 1:
+            except ServiceConnectionError:
+                if last:
                     raise
-                sleep(error.retry_after_s or 0.05)
+            except ServiceError as error:
+                if error.code not in RETRYABLE_CODES or last:
+                    raise
+                sleep(error.retry_after_s or RETRY_BACKOFF_BASE_S)
+                continue
+            except OSError:
+                # Dead socket or refused dial (server restarting).
+                if last:
+                    raise
+            # Connection-level failure: back off, then reconnect.  A
+            # refused reconnect just counts as this attempt's failure.
+            sleep(min(RETRY_BACKOFF_CAP_S,
+                      RETRY_BACKOFF_BASE_S * (2 ** min(failures, 10))))
+            failures += 1
+            with contextlib.suppress(OSError):
+                self.reconnect()
         raise AssertionError("unreachable")  # pragma: no cover

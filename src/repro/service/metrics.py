@@ -15,7 +15,11 @@ from there, so plain counters suffice.  Three things are tracked:
   recorders (``compile_s`` = pure pipeline time inside the worker,
   ``queue_s`` = everything else in the round-trip: admission wait, pool
   dispatch, result transfer, ``total_s`` = the request's full
-  server-side residence) reporting p50/p90/p99 live.
+  server-side residence) reporting p50/p90/p99 live;
+* **supervision** — worker-pool failures survived rather than
+  surfaced: ``pool_rebuilds`` (a broken executor was detected and
+  replaced) and ``requeued`` (requests resubmitted to the fresh pool
+  instead of failing their connection).
 
 Everything is also mirrored into the active :mod:`repro.obs` collector
 (category ``"service"``) when tracing is enabled, so a traced test run
@@ -48,6 +52,8 @@ class ServiceMetrics:
         self.cache_hits = 0
         self.queue_depth = 0
         self.queue_peak = 0
+        self.pool_rebuilds = 0
+        self.requeued = 0
         self.latency = {phase: LatencyHistogram() for phase in PHASES}
         self.started_monotonic = time.monotonic()
 
@@ -90,6 +96,26 @@ class ServiceMetrics:
 
     def internal_error(self):
         self.internal_errors += 1
+
+    # -- supervision ---------------------------------------------------------
+
+    def pool_rebuilt(self):
+        """One broken worker pool detected and replaced."""
+        self.pool_rebuilds += 1
+        obs = current_collector()
+        if obs.enabled:
+            obs.event("service", "supervision", action="pool_rebuilt",
+                      rebuilds=self.pool_rebuilds)
+            obs.count("service", "pool_rebuilds")
+
+    def requeue(self, units=1):
+        """``units`` requests resubmitted after a pool failure."""
+        self.requeued += units
+        obs = current_collector()
+        if obs.enabled:
+            obs.event("service", "supervision", action="requeued",
+                      units=units)
+            obs.count("service", "requeued", n=units)
 
     # -- completion ----------------------------------------------------------
 
@@ -147,6 +173,10 @@ class ServiceMetrics:
                 "deadline_expired": self.deadline_expired,
                 "bad_requests": self.bad_requests,
                 "internal_errors": self.internal_errors,
+            },
+            "supervision": {
+                "pool_rebuilds": self.pool_rebuilds,
+                "requeued": self.requeued,
             },
             "cache": {
                 "lookups": self.cache_lookups,

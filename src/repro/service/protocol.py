@@ -46,7 +46,9 @@ E_BUSY = "busy"
 E_DRAINING = "draining"
 E_DEADLINE = "deadline"
 E_INTERNAL = "internal"
-ERROR_CODES = (E_BAD_REQUEST, E_BUSY, E_DRAINING, E_DEADLINE, E_INTERNAL)
+E_UNAVAILABLE = "unavailable"
+ERROR_CODES = (E_BAD_REQUEST, E_BUSY, E_DRAINING, E_DEADLINE, E_INTERNAL,
+               E_UNAVAILABLE)
 
 #: Request ``options`` keys (everything else is a bad request).
 OPTION_KEYS = ("hardened", "split_messages", "pipeline")

@@ -88,6 +88,21 @@ class ThreadedServer:
                 pass  # loop already closed between the check and the call
         self._thread.join(self._timeout)
 
+    def kill(self):
+        """Kill the service like a crashed process: connections reset,
+        workers shot, nothing drained (the chaos harness's shard-kill
+        primitive; see :meth:`CompileService.abort`)."""
+        if self._thread is None or not self._thread.is_alive():
+            return
+        if self.service is not None and self._loop is not None:
+            try:
+                future = asyncio.run_coroutine_threadsafe(
+                    self.service.abort(), self._loop)
+                future.result(timeout=self._timeout)
+            except RuntimeError:
+                pass  # loop already closed between the check and the call
+        self._thread.join(self._timeout)
+
     __enter__ = start
 
     def __exit__(self, *exc_info):

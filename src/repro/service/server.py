@@ -31,6 +31,18 @@ started pool task is cancelled outright.  ``drain`` flips the service
 into refusing new work, waits for every in-flight request to complete,
 replies, and shuts down — the graceful exit both the CLI's signal
 handlers and the CI smoke job use.
+
+The worker pool is **supervised** (``docs/robustness.md``): a worker
+that dies mid-compile (OOM kill, segfault, chaos) breaks the whole
+``ProcessPoolExecutor`` — every in-flight future fails with
+:class:`~concurrent.futures.BrokenExecutor` and every later submit
+would too.  Instead of poisoning the connection (and all subsequent
+requests), the service detects the broken pool, rebuilds the executor
+exactly once per failure (concurrent detections coalesce on a
+generation counter), resubmits each affected request once, and counts
+the event in :class:`~repro.service.metrics.ServiceMetrics`
+(``pool_rebuilds`` / ``requeued``).  Only a request that fails on the
+*fresh* pool too surfaces an ``internal`` error.
 """
 
 import asyncio
@@ -38,7 +50,11 @@ import contextlib
 import functools
 import tempfile
 import time
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from concurrent.futures import (
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
 
 from repro.batch.cache import PipelineCache
 from repro.batch.driver import _pool_compile, compile_one, resolve_jobs
@@ -94,6 +110,21 @@ class CompileService:
         self._closing = False
         self._idle = None
         self._stopped = None
+        self._connections = set()
+        self._tasks = set()
+        self._pool_lock = None
+        self._pool_generation = 0
+
+    def _spawn(self, coroutine):
+        """``create_task`` with a strong reference until done — the
+        event loop only weak-refs its tasks, so a fire-and-forget
+        handler with no other reference can be garbage-collected
+        mid-await (the task dies with ``GeneratorExit``, the client
+        never gets a reply)."""
+        task = self._loop.create_task(coroutine)
+        self._tasks.add(task)
+        task.add_done_callback(self._tasks.discard)
+        return task
 
     # -- lifecycle -----------------------------------------------------------
 
@@ -103,6 +134,7 @@ class CompileService:
         self._idle = asyncio.Event()
         self._idle.set()
         self._stopped = asyncio.Event()
+        self._pool_lock = asyncio.Lock()
         self._executor, self.pool_kind = self._build_executor()
         self._build_cache()
         self._server = await asyncio.start_server(
@@ -168,6 +200,47 @@ class CompileService:
     async def wait_closed(self):
         await self._stopped.wait()
 
+    async def abort(self):
+        """Die like a crashed shard: no drain, no goodbyes.
+
+        The listening socket closes, every open connection is reset
+        (clients see ``ECONNRESET``, not a clean EOF), and pool workers
+        are killed outright.  This is the fleet chaos harness's
+        ``kill_shard`` primitive — production code wants
+        :meth:`shutdown`."""
+        self._draining = True
+        if self._closing:
+            await self._stopped.wait()
+            return
+        self._closing = True
+        if self._server is not None:
+            self._server.close()
+        for writer in list(self._connections):
+            with contextlib.suppress(Exception):
+                writer.transport.abort()
+        if self._executor is not None:
+            processes = getattr(self._executor, "_processes", None)
+            if processes:
+                for process in list(processes.values()):
+                    with contextlib.suppress(Exception):
+                        process.kill()
+            self._executor.shutdown(wait=False, cancel_futures=True)
+        if self._cache_tmp is not None:
+            with contextlib.suppress(Exception):
+                self._cache_tmp.cleanup()
+        self._stopped.set()
+
+    async def sever_connections(self):
+        """Abruptly reset every open client connection (in-flight work
+        keeps running and stays accounted for) — the chaos harness's
+        torn-network primitive."""
+        severed = 0
+        for writer in list(self._connections):
+            with contextlib.suppress(Exception):
+                writer.transport.abort()
+                severed += 1
+        return severed
+
     def status(self):
         """The ``status`` payload: live metrics plus server facts."""
         return self.metrics.snapshot(cache=self.cache, server={
@@ -216,7 +289,11 @@ class CompileService:
 
     def _submit(self, name, source, options):
         """Schedule one compile on the pool; returns an asyncio future
-        whose admission slot is released when the work truly finishes."""
+        whose admission slot is released when the work truly finishes.
+
+        A pool so broken that ``submit`` itself raises releases the slot
+        synchronously, so every attempt frees exactly one slot no matter
+        how it dies."""
         if self.pool_kind == "process":
             cache_dir = self.cache.directory if self.cache is not None else None
             call = functools.partial(
@@ -225,9 +302,55 @@ class CompileService:
         else:
             call = functools.partial(compile_one, name, source, self.cache,
                                      options)
-        future = self._loop.run_in_executor(self._executor, call)
+        try:
+            future = self._loop.run_in_executor(self._executor, call)
+        except BrokenExecutor:
+            self.metrics.release(1)
+            if self.metrics.queue_depth == 0:
+                self._idle.set()
+            raise
         future.add_done_callback(self._release_slot)
         return future
+
+    async def _run_supervised(self, name, source, options):
+        """One compile under worker-pool supervision: a broken executor
+        (a worker crashed mid-compile) is rebuilt and the request
+        requeued once instead of failing the connection."""
+        try:
+            return await self._submit(name, source, options)
+        except BrokenExecutor:
+            if self._closing:
+                raise
+            await self._supervise_pool_failure()
+            # The failed attempt released its admission slot; take it
+            # back unconditionally — a requeue is a continuation of
+            # already-admitted work, not new admission.
+            self.metrics.admit(1)
+            self._idle.clear()
+            self.metrics.requeue(1)
+            return await self._submit(name, source, options)
+
+    async def _supervise_pool_failure(self):
+        """Replace a broken executor exactly once per failure: every
+        request that saw the same generation coalesces on the lock and
+        only the first rebuilds."""
+        generation = self._pool_generation
+        async with self._pool_lock:
+            if self._pool_generation != generation:
+                return  # a sibling request already rebuilt the pool
+            broken = self._executor
+            # _build_executor spawns and probes workers — run it off the
+            # event loop so a slow spawn cannot stall accept/status.
+            self._executor, self.pool_kind = await self._loop.run_in_executor(
+                None, self._build_executor)
+            self._pool_generation += 1
+            self.metrics.pool_rebuilt()
+            obs = current_collector()
+            if obs.enabled:
+                obs.event("service", "pool_rebuild",
+                          generation=self._pool_generation,
+                          pool=self.pool_kind)
+            broken.shutdown(wait=False, cancel_futures=True)
 
     async def _await_with_deadline(self, awaitable, deadline):
         """``await`` under the request deadline; the underlying pool
@@ -239,6 +362,7 @@ class CompileService:
     # -- the wire ------------------------------------------------------------
 
     async def _serve_client(self, reader, writer):
+        self._connections.add(writer)
         write_lock = asyncio.Lock()
 
         async def send(payload):
@@ -263,6 +387,11 @@ class CompileService:
                     # in callback" traceback.  Nothing awaits this task,
                     # so absorbing the cancellation is safe.
                     break
+                except ConnectionError:
+                    # Peer vanished without a FIN (reset, severed by
+                    # chaos, router hung up mid-forward) — same as a
+                    # clean disconnect from our side.
+                    break
                 except (asyncio.LimitOverrunError, ValueError):
                     await send(error_response(
                         {}, E_BAD_REQUEST,
@@ -285,16 +414,17 @@ class CompileService:
                 elif rtype == "status":
                     await send(ok_response(request, status=self.status()))
                 elif rtype == "drain":
-                    self._loop.create_task(self._handle_drain(request, send))
+                    self._spawn(self._handle_drain(request, send))
                 elif rtype == "batch":
-                    self._loop.create_task(self._handle_batch(request, send))
+                    self._spawn(self._handle_batch(request, send))
                 else:
-                    self._loop.create_task(self._handle_compile(request, send))
+                    self._spawn(self._handle_compile(request, send))
         finally:
             # In-flight tasks keep running (their sends no-op if the
             # client is gone); just tear the connection down.  No await
             # here: this finally also runs when the task is cancelled
             # during server close, and awaiting would re-raise there.
+            self._connections.discard(writer)
             with contextlib.suppress(Exception):
                 writer.close()
 
@@ -323,7 +453,8 @@ class CompileService:
             await send(error_response(request, code, ADMISSION_MESSAGES[code],
                                       retry_after_s=self._retry_after()))
             return
-        future = self._submit(name, source, options)
+        future = self._loop.create_task(
+            self._run_supervised(name, source, options))
         try:
             compiled = await self._await_with_deadline(future, deadline)
         except asyncio.TimeoutError:
@@ -372,8 +503,8 @@ class CompileService:
                                       retry_after_s=self._retry_after()))
             return
         futures = [
-            self._submit(p.get("name") or f"<batch-{index}>", p["source"],
-                         options)
+            self._loop.create_task(self._run_supervised(
+                p.get("name") or f"<batch-{index}>", p["source"], options))
             for index, p in enumerate(programs)
         ]
         try:
@@ -415,7 +546,7 @@ class CompileService:
         await send(ok_response(request, drained=True,
                                completed=self.metrics.completed,
                                failed=self.metrics.failed))
-        self._loop.create_task(self.shutdown(drain=False))
+        self._spawn(self.shutdown(drain=False))
 
 
 async def _serve_main(config, out):
@@ -435,7 +566,7 @@ async def _serve_main(config, out):
                                  ValueError):
             loop.add_signal_handler(
                 signum,
-                lambda: loop.create_task(service.shutdown(drain=True)))
+                lambda: service._spawn(service.shutdown(drain=True)))
     await service.wait_closed()
 
 

@@ -1,10 +1,16 @@
 """PipelineCache: content addressing, snapshot semantics, persistence."""
 
 import os
+import time
 
 import pytest
 
-from repro.batch.cache import CACHE_SCHEMA, PipelineCache, source_fingerprint
+from repro.batch.cache import (
+    CACHE_SCHEMA,
+    TMP_SWEEP_AGE_S,
+    PipelineCache,
+    source_fingerprint,
+)
 
 
 SOURCE = "program p\nend\n"
@@ -148,6 +154,61 @@ def test_clear_resets_corrupt_counter(tmp_path):
     assert cache.corrupt == 1
     cache.clear()
     assert cache.stats()["corrupt"] == 0
+
+
+def _orphan_tmp(tmp_path, name="deadbeef.tmp", age_s=2 * TMP_SWEEP_AGE_S):
+    """A ``*.tmp`` staging file whose writer 'crashed' ``age_s`` ago."""
+    path = tmp_path / name
+    path.write_bytes(b"half a pickle")
+    stamp = time.time() - age_s
+    os.utime(path, (stamp, stamp))
+    return path
+
+
+def test_open_sweeps_orphaned_tmp_files(tmp_path):
+    # regression: a worker killed between mkstemp and the atomic rename
+    # (crash mid-write) leaks its staging file forever; opening a cache
+    # on the directory must heal it
+    seeder = PipelineCache(directory=str(tmp_path))
+    key = seeder.key(SOURCE)
+    seeder.put("ns", key, 1)
+    orphan = _orphan_tmp(tmp_path)
+
+    cache = PipelineCache(directory=str(tmp_path))
+    assert not orphan.exists()
+    assert cache.swept_tmp == 1
+    assert cache.stats()["swept_tmp"] == cache.swept_tmp
+    assert cache.get("ns", key) == 1  # real entries untouched
+
+
+def test_sweep_spares_fresh_tmp_from_live_writers(tmp_path):
+    # a young staging file may belong to a writer in a sibling process
+    # that is mid-put right now — the age gate must leave it alone
+    fresh = tmp_path / "inflight.tmp"
+    fresh.write_bytes(b"being written")
+    cache = PipelineCache(directory=str(tmp_path))
+    assert fresh.exists()
+    assert cache.swept_tmp == 0
+
+
+def test_sweep_ignores_non_tmp_files(tmp_path):
+    entry = _orphan_tmp(tmp_path, name="not-a-staging-file.pickle")
+    cache = PipelineCache(directory=str(tmp_path))
+    assert entry.exists()
+    assert cache.swept_tmp == 0
+
+
+def test_crashed_writer_then_reopen_round_trips(tmp_path):
+    # end to end: orphan present, cache opens, sweeps, and normal
+    # operation (including new atomic writes) proceeds
+    _orphan_tmp(tmp_path)
+    cache = PipelineCache(directory=str(tmp_path))
+    key = cache.key(SOURCE, run=2)
+    cache.put("ns", key, {"solved": True})
+    assert [name for name in os.listdir(tmp_path)
+            if name.endswith(".tmp")] == []
+    fresh = PipelineCache(directory=str(tmp_path))
+    assert fresh.get("ns", key) == {"solved": True}
 
 
 def test_clear_resets_memory_and_counters(tmp_path):

@@ -37,10 +37,12 @@ def assert_dual_matches_single(analyzed, problem, placement, max_paths=200):
     single_full = check_placement(analyzed.ifg, problem, placement,
                                   max_paths=max_paths, min_trips=0)
     assert report_key(full) == report_key(single_full)
-    if not full.truncated:
-        single_trip = check_placement(analyzed.ifg, problem, placement,
-                                      max_paths=max_paths, min_trips=1)
-        assert report_key(min_trip) == report_key(single_trip)
+    # holds even when the full enumeration truncates: the dual checker
+    # then switches to a dedicated min_trips=1 enumeration, which is
+    # exactly what the single call runs
+    single_trip = check_placement(analyzed.ifg, problem, placement,
+                                  max_paths=max_paths, min_trips=1)
+    assert report_key(min_trip) == report_key(single_trip)
 
 
 def test_dual_matches_single_on_branchy_program():
@@ -76,3 +78,48 @@ def test_min_trip_report_is_a_path_subset():
     full, min_trip = check_placement_dual(analyzed.ifg, problem, placement)
     assert min_trip.paths_checked <= full.paths_checked
     assert len(min_trip.violations) <= len(full.violations)
+
+
+def test_truncated_enumeration_does_not_starve_the_min_trip_verdict():
+    """Regression: generator seed 304 produces a graph whose first 150
+    bounded paths are *all* zero-trip prefixes.  Filtering them used to
+    leave the min-trip report with zero paths — a vacuously clean
+    sufficiency verdict that let ``_solve_write`` certify an
+    insufficient optimistic placement."""
+    from repro.commgen.pipeline import prepare_communication
+    from repro.lang.printer import format_program
+    from repro.testing.generator import ArrayProgramGenerator
+
+    source = format_program(ArrayProgramGenerator(304).program(14))
+    prepared = prepare_communication(source)
+    ifg = prepared.analyzed.ifg
+    problem = prepared.write_problem
+    placement = prepared.write_placement
+    full, min_trip = check_placement_dual(ifg, problem, placement,
+                                          max_paths=150)
+    assert full.truncated
+    assert min_trip.paths_checked > 0  # never a vacuous verdict
+    assert_dual_matches_single(prepared.analyzed, problem, placement,
+                               max_paths=150)
+
+
+def test_seed_304_write_placement_is_sufficient_end_to_end():
+    """The pipeline-level symptom of the starved verdict: 18 C3
+    violations on the write problem under the default optimistic jump
+    treatment.  With the dual checker fixed, certification fails and the
+    solve falls back to the conservative treatment, which is clean."""
+    from repro.commgen import generate_communication
+    from repro.lang.printer import format_program
+    from repro.testing.generator import ArrayProgramGenerator
+
+    source = format_program(ArrayProgramGenerator(304).program(14))
+    result = generate_communication(source)
+    for problem, placement in [
+        (result.read_problem, result.read_placement),
+        (result.write_problem, result.write_placement),
+    ]:
+        report = check_placement(result.analyzed.ifg, problem, placement,
+                                 max_paths=100, min_trips=1)
+        hard = [v for v in report.violations
+                if v.kind not in ("safety", "redundant")]
+        assert not hard, str(report)

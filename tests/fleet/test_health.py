@@ -1,0 +1,194 @@
+"""CircuitBreaker state machine and HashRing placement, no sockets.
+
+Both mechanisms are deterministic by construction — the breaker takes an
+injected clock, the ring hashes with sha256 — so the full failure
+detector and the affinity/failover story are testable without sleeping
+or networking.
+"""
+
+import pytest
+
+from repro.fleet.health import (
+    CLOSED,
+    HALF_OPEN,
+    OPEN,
+    CircuitBreaker,
+    HashRing,
+)
+
+
+class FakeClock:
+    def __init__(self):
+        self.now = 100.0
+
+    def __call__(self):
+        return self.now
+
+    def advance(self, seconds):
+        self.now += seconds
+
+
+@pytest.fixture()
+def clock():
+    return FakeClock()
+
+
+def make_breaker(clock, threshold=3, reset=1.0):
+    return CircuitBreaker(failure_threshold=threshold, reset_timeout_s=reset,
+                          time_fn=clock)
+
+
+# -- breaker state machine ----------------------------------------------------
+
+def test_breaker_starts_closed_and_allows(clock):
+    breaker = make_breaker(clock)
+    assert breaker.state == CLOSED
+    assert breaker.allow() is True
+    assert breaker.available is True
+
+
+def test_breaker_trips_open_at_the_failure_threshold(clock):
+    breaker = make_breaker(clock, threshold=3)
+    breaker.record_failure()
+    breaker.record_failure()
+    assert breaker.state == CLOSED  # below threshold: still passing
+    breaker.record_failure()
+    assert breaker.state == OPEN
+    assert breaker.opens == 1
+    assert breaker.allow() is False
+    assert breaker.available is False
+
+
+def test_success_resets_the_consecutive_failure_count(clock):
+    breaker = make_breaker(clock, threshold=3)
+    breaker.record_failure()
+    breaker.record_failure()
+    breaker.record_success()
+    breaker.record_failure()
+    breaker.record_failure()
+    assert breaker.state == CLOSED  # the streak broke; no trip
+
+
+def test_open_breaker_half_opens_after_the_reset_timeout(clock):
+    breaker = make_breaker(clock, threshold=1, reset=1.0)
+    breaker.record_failure()
+    assert breaker.state == OPEN
+    clock.advance(0.99)
+    assert breaker.allow() is False
+    clock.advance(0.02)
+    assert breaker.available is True  # non-mutating read
+    assert breaker.state == OPEN  # available alone must not transition
+    assert breaker.allow() is True  # the probe slot
+    assert breaker.state == HALF_OPEN
+
+
+def test_half_open_admits_exactly_one_probe(clock):
+    breaker = make_breaker(clock, threshold=1, reset=1.0)
+    breaker.record_failure()
+    clock.advance(1.1)
+    assert breaker.allow() is True
+    # probe outstanding: everything else is refused
+    assert breaker.allow() is False
+    assert breaker.available is False
+
+
+def test_successful_probe_closes_the_breaker(clock):
+    breaker = make_breaker(clock, threshold=1, reset=1.0)
+    breaker.record_failure()
+    clock.advance(1.1)
+    assert breaker.allow()
+    breaker.record_success()
+    assert breaker.state == CLOSED
+    assert breaker.consecutive_failures == 0
+    assert breaker.allow() is True
+
+
+def test_failed_probe_reopens_and_restarts_the_timer(clock):
+    breaker = make_breaker(clock, threshold=3, reset=1.0)
+    for _ in range(3):
+        breaker.record_failure()
+    clock.advance(1.1)
+    assert breaker.allow()
+    breaker.record_failure()  # the probe failed
+    assert breaker.state == OPEN
+    assert breaker.opens == 2
+    clock.advance(0.5)
+    assert breaker.allow() is False  # timer restarted at the probe failure
+    clock.advance(0.6)
+    assert breaker.allow() is True
+
+
+def test_failures_while_open_keep_pushing_the_reset_out(clock):
+    breaker = make_breaker(clock, threshold=1, reset=1.0)
+    breaker.record_failure()
+    clock.advance(0.8)
+    breaker.record_failure()  # e.g. a heartbeat landed a failure
+    assert breaker.opens == 1  # not a new open, same outage
+    clock.advance(0.8)
+    assert breaker.allow() is False  # 0.8s since the latest failure
+    clock.advance(0.3)
+    assert breaker.allow() is True
+
+
+def test_breaker_snapshot_shape(clock):
+    breaker = make_breaker(clock, threshold=1)
+    breaker.record_failure()
+    assert breaker.snapshot() == {
+        "state": OPEN,
+        "consecutive_failures": 1,
+        "opens": 1,
+    }
+
+
+def test_breaker_rejects_bad_parameters(clock):
+    with pytest.raises(ValueError):
+        CircuitBreaker(failure_threshold=0)
+    with pytest.raises(ValueError):
+        CircuitBreaker(reset_timeout_s=0)
+
+
+# -- hash ring ----------------------------------------------------------------
+
+MEMBERS = ["shard-0", "shard-1", "shard-2"]
+
+
+def test_ring_is_deterministic_across_instances():
+    a = HashRing(MEMBERS)
+    b = HashRing(list(MEMBERS))
+    keys = [f"key-{i}" for i in range(50)]
+    assert [a.home(k) for k in keys] == [b.home(k) for k in keys]
+
+
+def test_preference_lists_every_member_once_home_first():
+    ring = HashRing(MEMBERS)
+    for i in range(20):
+        order = ring.preference(f"key-{i}")
+        assert sorted(order) == sorted(MEMBERS)
+        assert order[0] == ring.home(f"key-{i}")
+
+
+def test_keys_spread_across_members():
+    ring = HashRing(MEMBERS, virtual_nodes=64)
+    homes = {ring.home(f"key-{i}") for i in range(200)}
+    assert homes == set(MEMBERS)  # no member starved
+
+
+def test_removing_a_member_only_remaps_its_own_keys():
+    full = HashRing(MEMBERS)
+    without = HashRing([m for m in MEMBERS if m != "shard-1"])
+    for i in range(200):
+        key = f"key-{i}"
+        home = full.home(key)
+        if home != "shard-1":
+            # keys on surviving shards keep their placement (warmth)
+            assert without.home(key) == home
+        else:
+            # orphaned keys land on their failover target, in order
+            assert without.home(key) == full.preference(key)[1]
+
+
+def test_ring_rejects_bad_parameters():
+    with pytest.raises(ValueError):
+        HashRing([])
+    with pytest.raises(ValueError):
+        HashRing(MEMBERS, virtual_nodes=0)

@@ -1,0 +1,112 @@
+"""ServiceClient resilience: retries across restarts and severed links.
+
+:meth:`ServiceClient.compile_retrying` is the fleet's contract with its
+callers — compiles are pure functions of (source, options), so a request
+that may or may not have completed can always be resent.  These tests
+exercise the three transient failures it must ride out: a server that
+restarts between requests (refused dials), a connection severed
+mid-session (reset / clean close with no reply), and ``busy``
+backpressure (covered in ``test_server.py``); and check that the plain,
+non-retrying calls surface those same failures loudly.
+"""
+
+import asyncio
+import threading
+import time
+
+import pytest
+
+from repro.commgen.pipeline import generate_communication
+from repro.service import (
+    ServiceClient,
+    ServiceConfig,
+    ThreadedServer,
+)
+from repro.service.client import ServiceConnectionError
+from repro.testing.programs import FIG11_SOURCE
+
+
+EXPECTED = generate_communication(FIG11_SOURCE).annotated_source()
+
+
+def thread_config(port=0):
+    return ServiceConfig(host="127.0.0.1", port=port, pool="thread",
+                         workers=2)
+
+
+def sever(server):
+    """Reset every live connection on ``server`` from the service side."""
+    asyncio.run_coroutine_threadsafe(
+        server.service.sever_connections(), server._loop).result(timeout=10)
+
+
+def test_compile_retrying_survives_a_server_restart():
+    first = ThreadedServer(thread_config()).start()
+    port = first.port
+    with ServiceClient(port=port) as client:
+        assert client.compile(FIG11_SOURCE, name="before")["ok"]
+        first.kill()  # crash, not drain: connections reset, port freed
+
+        second = {}
+
+        def restart():
+            time.sleep(0.2)  # leave the client dialing a dead port
+            second["server"] = ThreadedServer(thread_config(port)).start()
+
+        restarter = threading.Thread(target=restart, daemon=True)
+        restarter.start()
+        try:
+            result = client.compile_retrying(FIG11_SOURCE, name="after")
+            assert result["ok"] is True
+            assert result["annotated_source"] == EXPECTED
+        finally:
+            restarter.join()
+            second["server"].stop()
+
+
+def test_compile_retrying_survives_a_severed_connection():
+    with ThreadedServer(thread_config()) as server:
+        with ServiceClient(port=server.port) as client:
+            assert client.compile(FIG11_SOURCE, name="before")["ok"]
+            sever(server)
+            result = client.compile_retrying(FIG11_SOURCE, name="after")
+            assert result["ok"] is True
+            assert result["annotated_source"] == EXPECTED
+            # the reconnected session is fully usable, not one-shot
+            assert client.status()["requests"]["completed"] >= 2
+
+
+def test_plain_compile_does_not_retry_a_severed_connection():
+    with ThreadedServer(thread_config()) as server:
+        with ServiceClient(port=server.port) as client:
+            assert client.compile(FIG11_SOURCE, name="before")["ok"]
+            sever(server)
+            with pytest.raises((ServiceConnectionError, OSError)):
+                client.compile(FIG11_SOURCE, name="after")
+
+
+def test_compile_retrying_gives_up_when_the_server_stays_down():
+    server = ThreadedServer(thread_config()).start()
+    port = server.port
+    # short socket timeout: the first attempt's read may wait on a
+    # connection the dying server never got to reset
+    client = ServiceClient(port=port, timeout_s=2.0)
+    client.ping()  # fully established before the kill, so reset applies
+    server.kill()
+    naps = []
+    with pytest.raises((ServiceConnectionError, OSError)):
+        client.compile_retrying(FIG11_SOURCE, max_attempts=3,
+                                sleep=naps.append)
+    # it did back off between the bounded attempts, exponentially
+    assert len(naps) == 2
+    assert naps[1] > naps[0]
+    client.close()
+
+
+def test_reconnect_dials_fresh_after_close():
+    with ThreadedServer(thread_config()) as server:
+        client = ServiceClient(port=server.port)
+        client.close()
+        client.reconnect()
+        assert client.ping()["ok"] is True
+        client.close()

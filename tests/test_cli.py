@@ -476,11 +476,21 @@ def test_request_status_json(service, fig11_file):
     import json
 
     run(request_argv(service, "compile", fig11_file))
-    code, output = run(request_argv(service, "status"))
+    code, output = run(request_argv(service, "status", "--json"))
     assert code == 0
     payload = json.loads(output)
     assert payload["server"]["pool"] == "thread"
     assert payload["requests"]["completed"] >= 1
+
+
+def test_request_status_pretty_prints_by_default(service, fig11_file):
+    run(request_argv(service, "compile", fig11_file))
+    code, output = run(request_argv(service, "status"))
+    assert code == 0
+    assert "service 127.0.0.1:" in output
+    assert "requests: received=" in output
+    assert "supervision: pool_rebuilds=0 requeued=0" in output
+    assert "latency: p50=" in output
 
 
 def test_request_compile_needs_a_file(capsys, service):
@@ -515,6 +525,37 @@ def test_request_drain_shuts_the_server_down():
             pytest.fail("server still accepting after drain")
 
 
+@pytest.fixture(scope="module")
+def fleet():
+    from repro.fleet import LocalFleet
+
+    with LocalFleet(n_shards=2) as local:
+        yield local
+
+
+def test_request_status_against_a_fleet_pretty_prints_the_shard_table(
+        fleet, fig11_file):
+    run(["request", "compile", fig11_file, "--port", str(fleet.port)])
+    code, output = run(["request", "status", "--port", str(fleet.port)])
+    assert code == 0
+    assert "fleet router 127.0.0.1:" in output
+    assert "2 shards" in output
+    assert "requests: received=" in output and "forwards=" in output
+    assert "shard-0" in output and "shard-1" in output
+    assert "closed" in output
+
+
+def test_request_drain_against_a_fleet_reports_per_shard_outcomes():
+    from repro.fleet import LocalFleet
+
+    with LocalFleet(n_shards=2) as local:
+        code, output = run(["request", "drain", "--port", str(local.port)])
+        assert code == 0
+        assert output.startswith("fleet drained:")
+        assert "shard-0: drained" in output
+        assert "shard-1: drained" in output
+
+
 def test_serve_parser_round_trip():
     from repro.cli import build_parser
 
@@ -526,6 +567,18 @@ def test_serve_parser_round_trip():
     assert args.port == 0 and args.workers == 3 and args.pool == "thread"
     assert args.queue_limit == 5 and args.deadline == 1.5
     assert args.hardened and args.no_cache
+
+
+def test_fleet_parser_round_trip():
+    from repro.cli import build_parser
+
+    args = build_parser().parse_args(
+        ["fleet", "--shards", "4", "--port", "0", "--workers", "2",
+         "--pool", "thread", "--queue-limit", "8", "--hedge", "0.2",
+         "--heartbeat", "0.1"])
+    assert args.command == "fleet"
+    assert args.shards == 4 and args.workers == 2
+    assert args.hedge == 0.2 and args.heartbeat == 0.1
 
 
 def test_serve_defaults_to_the_service_port():
