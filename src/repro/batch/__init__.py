@@ -17,10 +17,12 @@ this package makes corpus-scale compilation cheap (``docs/scaling.md``):
 
 from repro.batch.cache import CACHE_SCHEMA, PipelineCache, source_fingerprint
 from repro.batch.driver import (
+    MERKLE_NAMESPACE,
     PREPARED_NAMESPACE,
     BatchOptions,
     BatchResult,
     CompiledProgram,
+    compile_delta,
     compile_many,
     compile_one,
     resolve_jobs,
@@ -30,10 +32,12 @@ __all__ = [
     "CACHE_SCHEMA",
     "PipelineCache",
     "source_fingerprint",
+    "MERKLE_NAMESPACE",
     "PREPARED_NAMESPACE",
     "BatchOptions",
     "BatchResult",
     "CompiledProgram",
+    "compile_delta",
     "compile_many",
     "compile_one",
     "resolve_jobs",

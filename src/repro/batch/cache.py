@@ -34,10 +34,17 @@ import os
 import pickle
 import tempfile
 import time
+from collections import OrderedDict
 
 #: Bump when the pickled payload layout changes: fingerprints include it,
 #: so stale on-disk entries from older layouts simply miss.
-CACHE_SCHEMA = "repro-batch-cache/1"
+CACHE_SCHEMA = "repro-batch-cache/2"
+
+#: Option values allowed into a fingerprint: their ``repr`` is stable
+#: across processes and runs.  Anything else (an object with the default
+#: ``<... at 0x7f...>`` repr, a dict, a set with arbitrary iteration
+#: order) would poison the key with per-process noise.
+_FINGERPRINT_SCALARS = (bool, int, float, str, type(None))
 
 #: A ``*.tmp`` staging file older than this is an orphan — its writer
 #: crashed between :func:`tempfile.mkstemp` and the atomic rename — and
@@ -46,17 +53,47 @@ CACHE_SCHEMA = "repro-batch-cache/1"
 TMP_SWEEP_AGE_S = 60.0
 
 
+def _validate_fingerprint_value(name, value):
+    """Reject option values whose ``repr`` is not a stable content
+    address.
+
+    An object with the default ``repr`` (``<Foo object at 0x7f...>``)
+    would fold a per-process heap address into the key — the entry could
+    never hit again across runs, silently turning the cache into a pure
+    write path.  Only primitives (bool/int/float/str/None) and flat
+    tuples thereof are allowed; everything else raises immediately so
+    the bad call site is loud instead of the cache quietly cold."""
+    if isinstance(value, _FINGERPRINT_SCALARS):
+        return
+    if isinstance(value, tuple):
+        for item in value:
+            if not isinstance(item, _FINGERPRINT_SCALARS):
+                raise TypeError(
+                    f"cache option {name!r} contains non-primitive tuple "
+                    f"item {item!r} ({type(item).__name__}); fingerprint "
+                    f"values must be bool/int/float/str/None or flat "
+                    f"tuples thereof")
+        return
+    raise TypeError(
+        f"cache option {name!r} has non-primitive value {value!r} "
+        f"({type(value).__name__}); fingerprint values must be "
+        f"bool/int/float/str/None or flat tuples thereof")
+
+
 def source_fingerprint(text, **options):
     """The content address of ``text`` compiled under ``options``.
 
     Options are folded into the hash in sorted order, so keyword order
-    never matters; values must have stable ``repr`` forms (bools, ints,
-    strings, None)."""
+    never matters.  Values must be primitives (bool/int/float/str/None)
+    or flat tuples thereof — anything whose ``repr`` is not stable
+    across processes raises :class:`TypeError` rather than minting an
+    unrepeatable key."""
     digest = hashlib.sha256()
     digest.update(CACHE_SCHEMA.encode())
     digest.update(b"\x00")
     digest.update(text.encode())
     for name in sorted(options):
+        _validate_fingerprint_value(name, options[name])
         digest.update(f"\x00{name}={options[name]!r}".encode())
     return digest.hexdigest()
 
@@ -67,14 +104,16 @@ class PipelineCache:
     ``directory=None`` keeps entries in memory only (fastest, private to
     the process); with a directory every entry is also written to disk,
     making the cache shared across worker processes and warm across
-    runs.  ``max_memory_entries`` bounds the in-memory layer (oldest
-    entries are evicted first; disk entries are never evicted here).
+    runs.  ``max_memory_entries`` bounds the in-memory layer with LRU
+    eviction — a hit refreshes recency, so hot entries survive no matter
+    how early they were inserted; disk entries are never evicted here.
     """
 
     def __init__(self, directory=None, max_memory_entries=1024):
         self.directory = directory
         self.max_memory_entries = max_memory_entries
-        self._memory = {}  # (namespace, key) -> pickle bytes
+        # (namespace, key) -> pickle bytes, ordered cold -> hot
+        self._memory = OrderedDict()
         self.hits = 0
         self.misses = 0
         self.stores = 0
@@ -131,6 +170,8 @@ class PipelineCache:
         ``stats()["corrupt"]``."""
         location = (namespace, key)
         payload = self._memory.get(location)
+        if payload is not None:
+            self._memory.move_to_end(location)
         from_disk = False
         if payload is None and self.directory is not None:
             try:
@@ -189,8 +230,9 @@ class PipelineCache:
     def _remember(self, namespace, key, payload):
         memory = self._memory
         memory[(namespace, key)] = payload
+        memory.move_to_end((namespace, key))
         while len(memory) > self.max_memory_entries:
-            memory.pop(next(iter(memory)))
+            memory.popitem(last=False)
 
     def _path(self, namespace, key):
         safe = namespace.replace(os.sep, "_")
@@ -224,3 +266,4 @@ class PipelineCache:
         entries are left alone)."""
         self._memory.clear()
         self.hits = self.misses = self.stores = self.corrupt = 0
+        self.swept_tmp = 0

@@ -32,16 +32,23 @@ import time
 from dataclasses import dataclass, field
 from typing import Optional
 
-from repro.batch.cache import PipelineCache
+from repro.batch.cache import PipelineCache, source_fingerprint
 from repro.commgen.hardened import HardenedPipeline, ResourceBudget
 from repro.commgen.pipeline import annotate_prepared, prepare_communication
+from repro.core.kernel.incremental import IncrementalSolveMemo
 from repro.graph.pipeline import analyzed_program_for
+from repro.lang.printer import format_statement
 from repro.obs.collector import TraceCollector, tracing
 from repro.obs.trace import stable_form, trace_payload
 from repro.util.errors import ReproError
 
 #: Cache namespace for solved pre-annotation pipeline state.
 PREPARED_NAMESPACE = "prepared"
+
+#: Cache namespace for per-program Merkle interval fingerprints, keyed
+#: by the plain :func:`source_fingerprint` of the text — the digest a
+#: ``compile_delta`` request names as its ``base``.
+MERKLE_NAMESPACE = "interval-merkle"
 
 #: prepare_communication keyword defaults — also the full set of options
 #: that participate in the content address of a "prepared" entry.
@@ -115,6 +122,10 @@ class CompiledProgram:
     degraded: bool = False
     #: stable-form trace payload (``trace=True`` only)
     trace: Optional[dict] = None
+    #: interval-memo accounting for cached compiles (whole-solve and
+    #: fragment hits, write-verdict replays, changed-interval counts for
+    #: deltas); ``None`` when no memo ran
+    incremental: Optional[dict] = None
 
     def as_dict(self):
         return {
@@ -128,6 +139,7 @@ class CompiledProgram:
             "error_type": self.error_type,
             "rung": self.rung,
             "degraded": self.degraded,
+            "incremental": self.incremental,
             "annotated_source": self.annotated_source,
         }
 
@@ -212,8 +224,8 @@ def compile_one(name, text, cache=None, options=None):
 
 def _compile_plain(name, text, cache, options):
     kwargs = options.prepare_kwargs()
-    prepared, prepare_trace, hit = _prepared_state(text, cache, options,
-                                                   kwargs)
+    prepared, prepare_trace, hit, incremental = _prepared_state(
+        text, cache, options, kwargs)
     annotate_collector = TraceCollector() if options.trace else None
     if annotate_collector is not None:
         with tracing(annotate_collector):
@@ -230,34 +242,103 @@ def _compile_plain(name, text, cache, options):
     return CompiledProgram(name=name, ok=True,
                            annotated_source=result.annotated_source(),
                            reads=reads, writes=writes, cache_hit=hit,
-                           trace=trace)
+                           trace=trace, incremental=incremental)
 
 
 def _prepared_state(text, cache, options, kwargs):
     """The solved pre-annotation state for ``text``: a private cached
-    copy when possible, freshly computed (and snapshotted) otherwise."""
+    copy when possible, freshly computed (and snapshotted) otherwise.
+
+    Returns ``(prepared, trace, hit, incremental)``.  On the miss path
+    with a cache, solves run through an
+    :class:`~repro.core.kernel.incremental.IncrementalSolveMemo`, so a
+    fresh text that shares structure with anything compiled before —
+    edit traffic — replays whole solves, interval fragments, and write
+    verdicts instead of recomputing them; ``incremental`` reports that
+    accounting.  Tracing disables the memo: a replayed solve emits no
+    solver events, and traces must stay byte-identical between cached
+    and uncached runs."""
     if cache is not None:
         key = cache.key(text, trace=options.trace, **kwargs)
         entry = cache.get(PREPARED_NAMESPACE, key)
         if entry is not None:
-            return entry["prepared"], entry["trace"], True
+            return entry["prepared"], entry["trace"], True, None
     # The frontend is built outside any trace scope (on both the hit and
     # the miss path it comes from untraced construction), so stable
     # traces compare equal between cached and uncached runs.
     analyzed = analyzed_program_for(
         text, cache=cache, split_irreducible=kwargs["split_irreducible"],
         max_splits=kwargs["max_splits"])
+    memo = None
+    if cache is not None and not options.trace:
+        memo = IncrementalSolveMemo(cache)
     if options.trace:
         with tracing() as collector:
             prepared = prepare_communication(analyzed, **_without_frontend(kwargs))
         prepare_trace = stable_form(trace_payload(collector))
     else:
-        prepared = prepare_communication(analyzed, **_without_frontend(kwargs))
+        prepared = prepare_communication(analyzed, memo=memo,
+                                         **_without_frontend(kwargs))
         prepare_trace = None
     if cache is not None:
         cache.put(PREPARED_NAMESPACE, key,
                   {"prepared": prepared, "trace": prepare_trace})
-    return prepared, prepare_trace, False
+        _store_interval_fingerprints(cache, text, prepared.analyzed)
+    return (prepared, prepare_trace, False,
+            dict(memo.stats) if memo is not None else None)
+
+
+def _render_interval_node(node):
+    """A node's own-level text for interval fingerprinting: the first
+    rendered line of its statement (a loop header's body lines belong to
+    the nested interval's fingerprint, not its own), or a kind tag for
+    synthetic nodes."""
+    if node.stmt is None:
+        return f"<{node.kind.value}:{node.name}>"
+    lines = format_statement(node.stmt)
+    return lines[0] if lines else f"<{node.kind.value}>"
+
+
+def _store_interval_fingerprints(cache, text, analyzed):
+    """Record the program's Merkle interval fingerprints under its plain
+    source digest, so a later ``compile_delta`` naming this text as its
+    base can report which intervals the edit changed."""
+    forest = analyzed.ifg.forest
+    fingerprints = forest.interval_fingerprints(_render_interval_node)
+    cache.put(MERKLE_NAMESPACE, source_fingerprint(text),
+              sorted(fingerprints.values()))
+
+
+def compile_delta(name, text, cache, options=None, base_digest=None):
+    """Incrementally recompile an edited program against a warm cache.
+
+    ``text`` is the *edited* source; ``base_digest`` (optional) is the
+    plain :func:`~repro.batch.cache.source_fingerprint` of the base text
+    a previous compile warmed the cache with.  The compile itself is
+    :func:`compile_one` — incremental replay is content-addressed, so it
+    needs no base entry to splice from, only a warm cache — but the base
+    digest adds the delta diagnostics: how many intervals the edit
+    changed versus the base's Merkle fingerprints.  The result is
+    byte-identical to a cold :func:`compile_one` of the same text.
+    """
+    if cache is None:
+        raise ValueError("compile_delta requires a PipelineCache to replay "
+                         "interval solves from")
+    options = options if options is not None else BatchOptions()
+    compiled = compile_one(name, text, cache, options)
+    incremental = dict(compiled.incremental or {})
+    incremental["digest"] = source_fingerprint(text)
+    incremental["base"] = base_digest
+    if compiled.ok and base_digest:
+        base_fps = cache.get(MERKLE_NAMESPACE, base_digest)
+        edited_fps = cache.get(MERKLE_NAMESPACE, incremental["digest"])
+        if isinstance(base_fps, list) and isinstance(edited_fps, list):
+            known = set(base_fps)
+            incremental["intervals_total"] = len(edited_fps)
+            incremental["intervals_changed"] = sum(
+                1 for fp in edited_fps if fp not in known)
+    compiled.incremental = incremental
+    return compiled
 
 
 def _without_frontend(kwargs):
@@ -342,6 +423,17 @@ def _pool_compile(item, cache_dir, use_cache, options):
     name, text = item
     return compile_one(name, text, _worker_cache(cache_dir, use_cache),
                        options)
+
+
+def _pool_compile_delta(item, cache_dir, use_cache, options, base_digest):
+    name, text = item
+    # compile_delta needs a cache to replay from; a worker without one
+    # (memory-only service config) degrades to its private per-process
+    # cache — still correct, just cold until that worker warms it.
+    cache = (_worker_cache(cache_dir, use_cache)
+             or _worker_cache(None, True))
+    return compile_delta(name, text, cache, options=options,
+                         base_digest=base_digest)
 
 
 def compile_many(sources, jobs=1, cache=None, options=None):

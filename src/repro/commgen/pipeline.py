@@ -90,7 +90,8 @@ def prepare_communication(source, owner_computes=False, postpass=True,
                           hoist_zero_trip=True, after_jumps="optimistic",
                           refine_sections=True, split_irreducible=False,
                           max_splits=None, check_paths=150,
-                          solver_rounds=None, solver_backend=None):
+                          solver_rounds=None, solver_backend=None,
+                          memo=None):
     """Run everything up to (but excluding) annotation; return a
     :class:`PreparedCommunication`.
 
@@ -103,6 +104,13 @@ def prepare_communication(source, owner_computes=False, postpass=True,
     — share one forward and one backward compiled
     :class:`~repro.core.kernel.plan.SolverPlan` (cached on the graph, so
     it also survives into the batch layer's pipeline-cache snapshots).
+
+    ``memo`` — an optional
+    :class:`~repro.core.kernel.incremental.IncrementalSolveMemo`: every
+    solve (and the optimistic write-check verdict) is replayed from the
+    memo's content-addressed cache when possible and recorded into it
+    otherwise, turning an edit recompile into work proportional to the
+    changed intervals.  Results are bit-identical with or without it.
     """
     if isinstance(source, AnalyzedProgram):
         analyzed = source
@@ -119,8 +127,8 @@ def prepare_communication(source, owner_computes=False, postpass=True,
                                       refine=refine_sections)
     read_problem.hoist_zero_trip = hoist_zero_trip
     read_problem.freeze()
-    read_solution = solve(analyzed.ifg, read_problem, max_rounds=solver_rounds,
-                          backend=solver_backend)
+    read_solution = _solve(analyzed.ifg, read_problem, None, solver_rounds,
+                           solver_backend, memo)
     read_placement = Placement(analyzed.ifg, read_problem, read_solution)
 
     if postpass:
@@ -133,7 +141,7 @@ def prepare_communication(source, owner_computes=False, postpass=True,
     write_problem.freeze()
     write_solution, write_placement = _solve_write(
         analyzed, write_problem, after_jumps, check_paths, solver_rounds,
-        solver_backend)
+        solver_backend, memo)
 
     if postpass:
         shift_synthetic_productions(write_placement)
@@ -226,8 +234,17 @@ def generate_communication(source, owner_computes=False, split_messages=True,
     return annotate_prepared(prepared, split_messages=split_messages)
 
 
+def _solve(ifg, problem, view, solver_rounds, solver_backend, memo):
+    """One solve, replayed through ``memo`` when it applies to the
+    requested backend (the reference oracle always computes fresh)."""
+    if memo is not None and memo.applies(solver_backend):
+        return memo.solve(ifg, problem, view=view, max_rounds=solver_rounds)
+    return solve(ifg, problem, view=view, max_rounds=solver_rounds,
+                 backend=solver_backend)
+
+
 def _solve_write(analyzed, write_problem, after_jumps, check_paths=150,
-                 solver_rounds=None, solver_backend=None):
+                 solver_rounds=None, solver_backend=None, memo=None):
     """Solve the AFTER problem per the requested jump treatment."""
     from repro.core.checker import check_placement_dual
     from repro.graph.views import cached_view
@@ -235,19 +252,34 @@ def _solve_write(analyzed, write_problem, after_jumps, check_paths=150,
     has_jumps = bool(analyzed.ifg.jump_edges())
     if after_jumps == "optimistic" and has_jumps and write_problem.annotated_nodes():
         view = cached_view(analyzed.ifg, "after", blocked=False)
-        solution = solve(analyzed.ifg, write_problem, view=view,
-                         max_rounds=solver_rounds, backend=solver_backend)
+        solution = _solve(analyzed.ifg, write_problem, view, solver_rounds,
+                          solver_backend, memo)
         placement = Placement(analyzed.ifg, write_problem, solution)
-        # One path enumeration and replay serves both verdicts: balance
-        # over all bounded paths, sufficiency over the min-trip subset
-        # (previously two separate check_placement calls doubled the
-        # check_paths-bounded work on every optimistic solve).
-        full, min_trip = check_placement_dual(
-            analyzed.ifg, write_problem, placement, max_paths=check_paths)
-        balanced = not full.by_kind("balance")
-        sufficient = min_trip.ok(ignore=("safety", "redundant"))
-        if balanced and sufficient:
+        accept = None
+        if memo is not None and memo.applies(solver_backend):
+            # The dual check's verdict is a pure function of (graph,
+            # problem, solution, check_paths) — the same contents the
+            # solve key addresses — so a warm delta replays the verdict
+            # instead of re-enumerating paths, which dominates cold
+            # compile time on jumpy programs.
+            accept = memo.write_verdict(analyzed.ifg, write_problem, view,
+                                        solver_rounds, check_paths)
+        if accept is None:
+            # One path enumeration and replay serves both verdicts:
+            # balance over all bounded paths, sufficiency over the
+            # min-trip subset (previously two separate check_placement
+            # calls doubled the check_paths-bounded work on every
+            # optimistic solve).
+            full, min_trip = check_placement_dual(
+                analyzed.ifg, write_problem, placement, max_paths=check_paths)
+            balanced = not full.by_kind("balance")
+            sufficient = min_trip.ok(ignore=("safety", "redundant"))
+            accept = balanced and sufficient
+            if memo is not None and memo.applies(solver_backend):
+                memo.store_write_verdict(analyzed.ifg, write_problem, view,
+                                         solver_rounds, check_paths, accept)
+        if accept:
             return solution, placement
-    solution = solve(analyzed.ifg, write_problem, max_rounds=solver_rounds,
-                     backend=solver_backend)
+    solution = _solve(analyzed.ifg, write_problem, None, solver_rounds,
+                      solver_backend, memo)
     return solution, Placement(analyzed.ifg, write_problem, solution)

@@ -10,7 +10,10 @@ tolerance (``docs/serving.md``):
 * **cache affinity** — requests are consistent-hashed by source digest
   (:class:`~repro.fleet.health.HashRing`), so a resubmitted program
   lands on the shard whose :class:`~repro.batch.cache.PipelineCache`
-  already holds its solved state;
+  already holds its solved state; a ``compile_delta`` request carrying
+  a ``base`` digest routes by that digest *verbatim* — the edited text
+  hashes differently, but the warm interval solves it wants to splice
+  live on the shard that compiled the **base**;
 * **health** — a heartbeat ping per shard feeds a per-shard
   :class:`~repro.fleet.health.CircuitBreaker`; an open breaker takes
   the shard out of rotation until a half-open probe succeeds;
@@ -255,6 +258,12 @@ class FleetRouter:
         """The shard a compile of ``source`` has affinity with."""
         return self._by_name[self._ring.home(source_fingerprint(source))]
 
+    def delta_home_shard(self, base_digest):
+        """The shard a ``compile_delta`` against ``base_digest`` routes
+        to — the base digest enters the ring verbatim (it already *is*
+        the fingerprint the base compile was routed by)."""
+        return self._by_name[self._ring.home(base_digest)]
+
     def status(self):
         """The ``status`` payload: fleet counters + shard table."""
         return {
@@ -349,15 +358,31 @@ class FleetRouter:
 
     # -- routing -------------------------------------------------------------
 
-    def _preference(self, source):
-        """Shards in failover order for ``source`` (home first)."""
-        order = self._ring.preference(source_fingerprint(source))
+    def _affinity_digest(self, request, source):
+        """The digest a request enters the hash ring under.
+
+        Plain compiles hash their own source.  A ``compile_delta``
+        carrying a ``base`` digest routes by it **verbatim** — ``base``
+        already is the :func:`~repro.batch.cache.source_fingerprint` of
+        the base text, so re-hashing it would send the delta anywhere
+        *but* the shard whose cache holds the base's interval solves."""
+        if request.get("type") == "compile_delta":
+            base = request.get("base")
+            if isinstance(base, str) and base:
+                return base
+        return source_fingerprint(source)
+
+    def _preference(self, digest):
+        """Shards in failover order for an affinity digest (home
+        first)."""
+        order = self._ring.preference(digest)
         return [self._by_name[name] for name in order]
 
-    async def _route(self, request, source):
+    async def _route(self, request, digest):
         """Forward ``request`` with failover, spill, and hedging; always
-        returns a response dict (never raises for shard trouble)."""
-        candidates = self._preference(source)
+        returns a response dict (never raises for shard trouble).
+        ``digest`` is the affinity digest (:meth:`_affinity_digest`)."""
+        candidates = self._preference(digest)
         refusal = None
         attempts = 0
         rerouting = False
@@ -502,7 +527,8 @@ class FleetRouter:
                 request, E_BAD_REQUEST,
                 "compile requests need a string 'source' field"))
             return
-        await send(await self._route(request, source))
+        await send(await self._route(
+            request, self._affinity_digest(request, source)))
 
     async def _handle_batch(self, request, send):
         """Split a batch across the fleet: each program routes by its
@@ -535,7 +561,8 @@ class FleetRouter:
                     sub[key] = request[key]
             subrequests.append(sub)
         replies = await asyncio.gather(*[
-            self._route(sub, sub["source"]) for sub in subrequests
+            self._route(sub, source_fingerprint(sub["source"]))
+            for sub in subrequests
         ])
         for reply in replies:
             if not reply.get("ok"):

@@ -75,6 +75,22 @@ corrupted, or failed, or when any scripted chaos event failed to
 execute — the artifact is the proof that the scripted failures really
 happened *and* nothing was lost to them.
 
+**Incremental recompilation** — the interval-scoped memoization layer's
+reason to exist (``docs/scaling.md``)::
+
+    python -m repro.obs.bench --incr --output BENCH_incr.json --check
+
+warms a cache per corpus program, drives a seeded sequence of mixed
+edits (scalar-RHS bumps, distributed-array subscript changes, inserts,
+deletes) through :func:`~repro.batch.driver.compile_delta`, and checks
+every delta byte-identical against a cold compile of the same text
+while counting whole-interval and fragment-splice cache hits.  A
+separate speed probe times 1-statement scalar-RHS edits cold versus as
+warm deltas.  ``--check`` exits nonzero when any delta output differs
+from its cold compile, when the edit sequences produced no
+untouched-interval cache hits, or when warm 1-statement deltas are not
+at least 3x faster than cold compiles.
+
 Wall-clock fields end in ``_s`` (speedups are ratios of wall-clock and
 carry the suffix too); everything else is deterministic.
 """
@@ -95,6 +111,7 @@ BATCH_SCHEMA = "repro-bench-batch/1"
 KERNEL_SCHEMA = "repro-bench-kernel/1"
 SERVICE_SCHEMA = "repro-bench-service/1"
 FLEET_SCHEMA = "repro-bench-fleet/1"
+INCR_SCHEMA = "repro-bench-incr/1"
 
 #: The size ladder — kept in sync with benchmarks/test_bench_scaling_linear.py.
 SIZES = (40, 160, 640)
@@ -298,6 +315,132 @@ def batch_throughput(n_programs=32, jobs=4, size=14, seed=0, repeats=2):
         # fully warm cache must beat the cold run
         "parallel_beats_serial": speedup_vs_serial >= 1.0,
         "cache_gives_speedup": speedup_vs_cold > 1.0 and hit_rate > 0.0,
+    }
+
+
+def incremental_bench(n_programs=4, size=30, seed=0, n_edits=5, repeats=3):
+    """Measure incremental recompilation; return the
+    ``BENCH_incr.json`` payload (``docs/scaling.md``).
+
+    Per corpus program (jumpy generator programs, warm shared
+    :class:`~repro.batch.cache.PipelineCache`):
+
+    1. **edit sequence** — ``n_edits`` cumulative seeded edits of mixed
+       kinds (:class:`~repro.testing.edits.EditModel`: scalar-RHS bump,
+       distributed-array subscript, insert, delete); each version is
+       compiled both ways — :func:`~repro.batch.driver.compile_delta`
+       against the warm cache and a cold
+       :func:`~repro.batch.driver.compile_one` — and the outputs
+       compared byte for byte, accumulating whole-interval and
+       fragment-splice hit counts;
+    2. **speed probe** — ``repeats`` distinct 1-statement scalar-RHS
+       edits of the base, each timed cold (no cache) and as a warm
+       delta; the gate compares the summed wall-clocks.
+
+    The three ``--check`` gates: every delta byte-identical to its cold
+    compile, at least one untouched-interval cache hit across the edit
+    sequences, and warm 1-statement deltas ≥ 3x faster than cold.
+    """
+    from repro.batch import (
+        PipelineCache,
+        compile_delta,
+        compile_one,
+        source_fingerprint,
+    )
+    from repro.lang.printer import format_program
+    from repro.testing.edits import EditModel
+    from repro.testing.generator import ArrayProgramGenerator
+
+    cache = PipelineCache()
+    model = EditModel(seed=seed)
+    rows = []
+    mismatches = 0
+    reuse_hits = 0
+    cold_total_s = delta_total_s = 0.0
+    for index in range(n_programs):
+        name = f"incr-{seed + index:03}"
+        base = format_program(
+            ArrayProgramGenerator(seed=seed + index).program(size=size))
+        compiled = compile_one(name, base, cache=cache)
+        if not compiled.ok:
+            raise RuntimeError(f"bench corpus program {name} failed: "
+                               f"{compiled.error}")
+        intervals = (compiled.incremental or {}).get("intervals_solved", 0)
+
+        # Phase 1: the randomized differential edit sequence.
+        steps = []
+        current = base
+        for kind, edited in model.edit_sequence(base, n_edits):
+            delta = compile_delta(name, edited, cache,
+                                  base_digest=source_fingerprint(current))
+            cold = compile_one(name, edited, cache=None)
+            identical = (delta.ok and cold.ok
+                         and delta.annotated_source == cold.annotated_source)
+            mismatches += not identical
+            incr = delta.incremental or {}
+            reuse_hits += (incr.get("whole_hits", 0)
+                           + incr.get("interval_hits", 0))
+            steps.append({
+                "kind": kind,
+                "identical": identical,
+                "whole_hits": incr.get("whole_hits", 0),
+                "interval_hits": incr.get("interval_hits", 0),
+                "verdict_hits": incr.get("verdict_hits", 0),
+                "intervals_changed": incr.get("intervals_changed"),
+                "intervals_total": incr.get("intervals_total"),
+            })
+            current = edited
+
+        # Phase 2: the 1-statement speed probe (distinct scalar-RHS
+        # edits of the base, so each delta is a fresh compile against
+        # the same warm entries, never a prepared-snapshot replay).
+        cold_s = delta_s = 0.0
+        probes = 0
+        base_digest = source_fingerprint(base)
+        for _ in range(repeats):
+            edited = model.scalar_rhs(base)
+            if edited is None or edited == base:
+                continue
+            probes += 1
+            start = time.perf_counter()
+            cold = compile_one(name, edited, cache=None)
+            cold_s += time.perf_counter() - start
+            start = time.perf_counter()
+            delta = compile_delta(name, edited, cache,
+                                  base_digest=base_digest)
+            delta_s += time.perf_counter() - start
+            identical = (delta.ok and cold.ok
+                         and delta.annotated_source == cold.annotated_source)
+            mismatches += not identical
+        cold_total_s += cold_s
+        delta_total_s += delta_s
+        rows.append({
+            "name": name,
+            "program_size": size,
+            "intervals": intervals,
+            "steps": steps,
+            "speed_probes": probes,
+            "cold_s": cold_s,
+            "delta_s": delta_s,
+            "speedup_s": cold_s / delta_s if delta_s > 0 else 0.0,
+        })
+    speedup = cold_total_s / delta_total_s if delta_total_s > 0 else 0.0
+    return {
+        "schema": INCR_SCHEMA,
+        "n_programs": n_programs,
+        "program_size": size,
+        "seed": seed,
+        "n_edits": n_edits,
+        "repeats": repeats,
+        "rows": rows,
+        "reuse_hits": reuse_hits,
+        "cold_total_s": cold_total_s,
+        "delta_total_s": delta_total_s,
+        "speedup_delta_vs_cold_s": speedup,
+        # the three --check gates
+        "all_identical": mismatches == 0,
+        "interval_hits_positive": reuse_hits > 0,
+        "meets_3x_target": speedup >= 3.0,
     }
 
 
@@ -656,8 +799,15 @@ def main(argv=None):
                              "against the reference solver")
     parser.add_argument("--jobs", type=int, default=4,
                         help="worker processes for --batch")
-    parser.add_argument("--programs", type=int, default=32,
-                        help="corpus size for --batch")
+    parser.add_argument("--programs", type=int, default=None,
+                        help="corpus size (default 32 for --batch, "
+                             "4 for --incr)")
+    parser.add_argument("--incr", action="store_true",
+                        help="measure incremental recompilation "
+                             "(compile_delta) against cold compiles")
+    parser.add_argument("--edits", type=int, default=5,
+                        help="edits per program in the --incr "
+                             "differential sequence")
     parser.add_argument("--service", action="store_true",
                         help="load-test a resident compile service "
                              "against the cold one-shot baseline")
@@ -686,6 +836,8 @@ def main(argv=None):
         return _main_service(args)
     if args.fleet:
         return _main_fleet(args)
+    if args.incr:
+        return _main_incr(args)
     return _main_solver(args)
 
 
@@ -732,10 +884,39 @@ def _main_kernel(args):
     return 0
 
 
+def _main_incr(args):
+    output = args.output or "BENCH_incr.json"
+    repeats = 3 if args.repeats is None else args.repeats
+    programs = 4 if args.programs is None else args.programs
+    report = incremental_bench(n_programs=programs, n_edits=args.edits,
+                               repeats=repeats)
+    write_bench_json(output, report)
+    for row in report["rows"]:
+        kinds = ",".join(step["kind"] for step in row["steps"])
+        print(f"{row['name']}: edits=[{kinds}] "
+              f"identical={all(s['identical'] for s in row['steps'])} "
+              f"delta_speedup={row['speedup_s']:.2f}x")
+    print(f"wrote {output} "
+          f"(all_identical={report['all_identical']}, "
+          f"reuse_hits={report['reuse_hits']}, "
+          f"speedup delta vs cold: "
+          f"{report['speedup_delta_vs_cold_s']:.2f}x)")
+    if args.check and not (report["all_identical"]
+                           and report["interval_hits_positive"]
+                           and report["meets_3x_target"]):
+        print("error: incremental recompilation regressed (a delta "
+              "compile differed from the cold compile, untouched "
+              "intervals gave no cache hits, or warm deltas fell under "
+              "the 3x speedup target)", file=sys.stderr)
+        return 1
+    return 0
+
+
 def _main_batch(args):
     output = args.output or "BENCH_batch.json"
     repeats = 2 if args.repeats is None else args.repeats
-    report = batch_throughput(n_programs=args.programs, jobs=args.jobs,
+    programs = 32 if args.programs is None else args.programs
+    report = batch_throughput(n_programs=programs, jobs=args.jobs,
                               repeats=repeats)
     write_bench_json(output, report)
     for mode, row in report["modes"].items():

@@ -138,6 +138,26 @@ class ServiceClient:
             body["options"] = options
         return self.request(body)["result"]
 
+    def compile_delta(self, source, base_digest=None, name="<client>",
+                      deadline_s=None, options=None):
+        """Incrementally recompile an edited program (``compile_delta``).
+
+        ``source`` is the full *edited* text; ``base_digest`` (optional)
+        is the :func:`~repro.batch.cache.source_fingerprint` of the base
+        text a previous compile warmed the server's cache with — with it
+        the result's ``incremental`` dict reports how many intervals the
+        edit changed, and a fleet router uses it for cache affinity.
+        The result dict is byte-identical to :meth:`compile` of the same
+        text."""
+        body = {"type": "compile_delta", "name": name, "source": source}
+        if base_digest:
+            body["base"] = base_digest
+        if deadline_s is not None:
+            body["deadline_s"] = deadline_s
+        if options:
+            body["options"] = options
+        return self.request(body)["result"]
+
     def batch(self, programs, deadline_s=None, options=None):
         """Compile ``programs`` (``(name, source)`` pairs or a mapping)
         as one admission unit; returns the full batch response."""

@@ -13,10 +13,22 @@ Request shapes::
     {"type": "ping"}
     {"type": "compile", "name": "...", "source": "...",
      "deadline_s": 2.0, "options": {"hardened": true, "pipeline": {...}}}
+    {"type": "compile_delta", "name": "...", "source": "...",
+     "base": "<sha256 source_fingerprint of the base text>",
+     "deadline_s": 2.0, "options": {...}}
     {"type": "batch", "programs": [{"name": "...", "source": "..."}, ...],
      "deadline_s": 10.0, "options": {...}}
     {"type": "status"}
     {"type": "drain"}
+
+``compile_delta`` carries the *edited* source in full; ``base`` names
+the previously compiled text whose warm cache entries the server splices
+from (interval-scoped memoization, ``docs/scaling.md``).  ``base`` is
+optional — the replay is content-addressed, so the compile is
+incremental against whatever the cache holds either way — but with it
+the response's ``result["incremental"]`` additionally reports how many
+intervals the edit changed, and the fleet router uses it for cache
+affinity (deltas land on the shard that compiled the base).
 
 A compile response wraps one
 :meth:`~repro.batch.driver.CompiledProgram.as_dict` payload under
@@ -38,7 +50,8 @@ PROTOCOL = "repro-service/1"
 #: Hard cap on one message line (requests and responses both).
 MAX_LINE_BYTES = 8 * 1024 * 1024
 
-REQUEST_TYPES = ("ping", "compile", "batch", "status", "drain")
+REQUEST_TYPES = ("ping", "compile", "compile_delta", "batch", "status",
+                 "drain")
 
 #: Stable error codes.
 E_BAD_REQUEST = "bad_request"

@@ -57,7 +57,13 @@ from concurrent.futures import (
 )
 
 from repro.batch.cache import PipelineCache
-from repro.batch.driver import _pool_compile, compile_one, resolve_jobs
+from repro.batch.driver import (
+    _pool_compile,
+    _pool_compile_delta,
+    compile_delta,
+    compile_one,
+    resolve_jobs,
+)
 from repro.obs.collector import current_collector
 from repro.service.config import ServiceConfig
 from repro.service.metrics import ServiceMetrics
@@ -67,6 +73,7 @@ from repro.service.protocol import (
     E_DEADLINE,
     E_DRAINING,
     E_INTERNAL,
+    E_UNAVAILABLE,
     MAX_LINE_BYTES,
     PROTOCOL,
     ProtocolError,
@@ -287,18 +294,29 @@ class CompileService:
 
     # -- execution -----------------------------------------------------------
 
-    def _submit(self, name, source, options):
+    def _submit(self, name, source, options, base=None):
         """Schedule one compile on the pool; returns an asyncio future
         whose admission slot is released when the work truly finishes.
 
-        A pool so broken that ``submit`` itself raises releases the slot
-        synchronously, so every attempt frees exactly one slot no matter
-        how it dies."""
+        ``base=<digest or "">`` marks an incremental (``compile_delta``)
+        request; a plain compile passes ``base=None``.  A pool so broken
+        that ``submit`` itself raises releases the slot synchronously,
+        so every attempt frees exactly one slot no matter how it dies."""
         if self.pool_kind == "process":
             cache_dir = self.cache.directory if self.cache is not None else None
-            call = functools.partial(
-                _pool_compile, (name, source), cache_dir=cache_dir,
-                use_cache=self.cache is not None, options=options)
+            if base is not None:
+                call = functools.partial(
+                    _pool_compile_delta, (name, source), cache_dir=cache_dir,
+                    use_cache=self.cache is not None, options=options,
+                    base_digest=base or None)
+            else:
+                call = functools.partial(
+                    _pool_compile, (name, source), cache_dir=cache_dir,
+                    use_cache=self.cache is not None, options=options)
+        elif base is not None:
+            call = functools.partial(compile_delta, name, source, self.cache,
+                                     options=options,
+                                     base_digest=base or None)
         else:
             call = functools.partial(compile_one, name, source, self.cache,
                                      options)
@@ -312,12 +330,12 @@ class CompileService:
         future.add_done_callback(self._release_slot)
         return future
 
-    async def _run_supervised(self, name, source, options):
+    async def _run_supervised(self, name, source, options, base=None):
         """One compile under worker-pool supervision: a broken executor
         (a worker crashed mid-compile) is rebuilt and the request
         requeued once instead of failing the connection."""
         try:
-            return await self._submit(name, source, options)
+            return await self._submit(name, source, options, base=base)
         except BrokenExecutor:
             if self._closing:
                 raise
@@ -328,7 +346,7 @@ class CompileService:
             self.metrics.admit(1)
             self._idle.clear()
             self.metrics.requeue(1)
-            return await self._submit(name, source, options)
+            return await self._submit(name, source, options, base=base)
 
     async def _supervise_pool_failure(self):
         """Replace a broken executor exactly once per failure: every
@@ -434,12 +452,33 @@ class CompileService:
         received = time.monotonic()
         source = request.get("source")
         name = request.get("name") or "<request>"
+        delta = request.get("type") == "compile_delta"
         if not isinstance(source, str):
             self.metrics.reject(E_BAD_REQUEST)
             await send(error_response(
                 request, E_BAD_REQUEST,
-                "compile requests need a string 'source' field"))
+                f"{request.get('type')} requests need a string 'source' "
+                f"field"))
             return
+        base = None
+        if delta:
+            # The empty string marks "delta with no base digest": still
+            # an incremental compile, just without changed-interval
+            # diagnostics (the replay is content-addressed either way).
+            base = request.get("base") or ""
+            if not isinstance(base, str):
+                self.metrics.reject(E_BAD_REQUEST)
+                await send(error_response(
+                    request, E_BAD_REQUEST,
+                    "compile_delta 'base' must be a string digest"))
+                return
+            if self.cache is None:
+                self.metrics.reject(E_UNAVAILABLE)
+                await send(error_response(
+                    request, E_UNAVAILABLE,
+                    "compile_delta needs the service cache; this service "
+                    "runs with use_cache=False"))
+                return
         try:
             options = request_options(request, self.config)
             deadline = request_deadline(request, self.config)
@@ -454,7 +493,7 @@ class CompileService:
                                       retry_after_s=self._retry_after()))
             return
         future = self._loop.create_task(
-            self._run_supervised(name, source, options))
+            self._run_supervised(name, source, options, base=base))
         try:
             compiled = await self._await_with_deadline(future, deadline)
         except asyncio.TimeoutError:

@@ -95,7 +95,7 @@ def test_memory_eviction_keeps_disk_entries(tmp_path):
     keys = [cache.key(f"{SOURCE}{i}") for i in range(4)]
     for i, key in enumerate(keys):
         cache.put("ns", key, i)
-    assert len(cache) == 2  # FIFO-evicted down to the bound
+    assert len(cache) == 2  # LRU-evicted down to the bound
     # evicted entries still hit through the disk layer
     assert cache.get("ns", keys[0]) == 0
 
@@ -221,3 +221,43 @@ def test_clear_resets_memory_and_counters(tmp_path):
     assert cache.stats()["hits"] == 0 and cache.stats()["stores"] == 0
     # on-disk entries survive clear()
     assert cache.get("ns", key) == 1
+
+
+def test_clear_resets_swept_tmp_counter(tmp_path):
+    # regression: clear() reset every counter except swept_tmp, so a
+    # cleared cache kept reporting sweeps from a previous lifetime
+    _orphan_tmp(tmp_path)
+    cache = PipelineCache(directory=str(tmp_path))
+    assert cache.swept_tmp == 1
+    cache.clear()
+    assert cache.swept_tmp == 0
+    assert cache.stats()["swept_tmp"] == 0
+
+
+def test_lru_hot_entry_survives_eviction():
+    # regression: the in-memory layer evicted in pure insertion order,
+    # so the hottest entry died first once the cache filled up
+    cache = PipelineCache(max_memory_entries=2)
+    hot, cold, new = (cache.key(f"{SOURCE}{i}") for i in range(3))
+    cache.put("ns", hot, "hot")
+    cache.put("ns", cold, "cold")
+    assert cache.get("ns", hot) == "hot"  # touch: hot is now most recent
+    cache.put("ns", new, "new")  # evicts cold, not hot
+    assert cache.get("ns", hot) == "hot"
+    assert cache.get("ns", new) == "new"
+    assert cache.get("ns", cold) is None  # memory-only: evicted for good
+
+
+def test_fingerprint_rejects_non_primitive_options():
+    # regression: arbitrary objects were silently folded via repr(), so
+    # two semantically equal options could alias or split cache keys
+    # depending on their repr stability
+    with pytest.raises(TypeError, match="option"):
+        source_fingerprint(SOURCE, pipeline={"solver_backend": "planned"})
+    with pytest.raises(TypeError, match="option"):
+        source_fingerprint(SOURCE, callback=lambda: None)
+    with pytest.raises(TypeError, match="option"):
+        source_fingerprint(SOURCE, nested=(1, (2, 3)))
+    # the primitive vocabulary (and flat tuples of it) stays legal
+    assert source_fingerprint(SOURCE, a=True, b=2, c=2.5, d="x", e=None,
+                              f=("p", 1, None))

@@ -143,6 +143,8 @@ def test_as_dict_is_json_shaped():
     json.dumps(payload)  # must be serializable as-is
     assert payload["ok"] == 1
     assert payload["programs"][0]["name"] == "fig11"
-    # a cold compile misses both namespaces: "analyzed" and "prepared"
-    assert payload["cache"]["misses"] == 2
-    assert payload["cache"]["stores"] == 2
+    # a cold compile misses "analyzed", "prepared", and the incremental
+    # solve/fragment/verdict probes; stores add the merkle record on top
+    assert payload["cache"]["misses"] == 7
+    assert payload["cache"]["stores"] == 8
+    assert payload["programs"][0]["incremental"]["whole_misses"] == 2

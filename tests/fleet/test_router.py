@@ -134,6 +134,44 @@ def test_home_shard_is_stable(fleet):
             == router.home_shard(FIG11_SOURCE).name)
 
 
+# -- incremental recompiles ---------------------------------------------------
+
+def test_compile_delta_routes_to_the_base_digest_home(fleet, client):
+    from repro.batch import source_fingerprint
+    base = generated_source(30, seed=91)
+    edited = base.replace("+ 1", "+ 2", 1)
+    assert edited != base
+    digest = source_fingerprint(base)
+    router = fleet.router.router
+    # delta affinity targets the *base* shard, not the edited text's
+    assert router.delta_home_shard(digest) is router.home_shard(base)
+    assert client.compile(base, name="delta")["ok"]
+    delta = client.compile_delta(edited, name="delta", base_digest=digest)
+    assert delta["ok"]
+    direct = generate_communication(edited)
+    assert delta["annotated_source"] == direct.annotated_source()
+    # the warm base really was on the routed shard
+    assert delta["incremental"]["whole_hits"] > 0
+
+
+def test_delta_affinity_uses_the_base_digest_verbatim(fleet):
+    from repro.batch import source_fingerprint
+    router = fleet.router.router
+    digest = source_fingerprint(generated_source(12, seed=92))
+    request = {"type": "compile_delta", "source": "edited", "base": digest}
+    assert router._affinity_digest(request, "edited") == digest
+    # no base (or the empty marker) falls back to the source digest
+    for request in ({"type": "compile_delta", "source": "edited"},
+                    {"type": "compile_delta", "source": "edited",
+                     "base": ""}):
+        assert (router._affinity_digest(request, "edited")
+                == source_fingerprint("edited"))
+    # plain compiles never consult the base key
+    request = {"type": "compile", "source": "edited", "base": digest}
+    assert (router._affinity_digest(request, "edited")
+            == source_fingerprint("edited"))
+
+
 # -- failover -----------------------------------------------------------------
 
 def test_requests_fail_over_when_their_home_shard_dies():

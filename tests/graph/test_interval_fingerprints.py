@@ -1,0 +1,74 @@
+"""Merkle interval fingerprints (:meth:`LoopForest.interval_fingerprints`).
+
+The invalidation contract the incremental compile layer depends on
+(``docs/scaling.md``): an edit changes exactly the fingerprints of the
+intervals on the path from the edited statement to the root — siblings
+and unrelated loops keep theirs.
+"""
+
+from repro.batch.driver import _render_interval_node
+from repro.testing.programs import analyze_source
+
+SOURCE = """\
+    a = 1
+    do i = 1, n
+        b = 2
+        do j = 1, n
+            c = 3
+        enddo
+    enddo
+    do k = 1, n
+        d = 4
+    enddo
+"""
+
+
+def fingerprints(source):
+    analyzed = analyze_source(source)
+    forest = analyzed.ifg.forest
+    raw = forest.interval_fingerprints(_render_interval_node)
+    # key by loop variable (the only stable cross-program handle)
+    named = {}
+    for header, digest in raw.items():
+        if header is None:
+            named["<root>"] = digest
+        else:
+            named[header.stmt.var] = digest
+    return named
+
+
+def test_fingerprints_are_deterministic():
+    assert fingerprints(SOURCE) == fingerprints(SOURCE)
+
+
+def test_edit_in_nested_loop_changes_only_the_path_to_root():
+    base = fingerprints(SOURCE)
+    edited = fingerprints(SOURCE.replace("c = 3", "c = 30"))
+    assert edited["j"] != base["j"]          # the edited interval
+    assert edited["i"] != base["i"]          # its enclosing interval
+    assert edited["<root>"] != base["<root>"]
+    assert edited["k"] == base["k"]          # the unrelated sibling loop
+
+
+def test_edit_at_top_level_spares_every_loop():
+    base = fingerprints(SOURCE)
+    edited = fingerprints(SOURCE.replace("a = 1", "a = 10"))
+    assert edited["<root>"] != base["<root>"]
+    assert edited["i"] == base["i"]
+    assert edited["j"] == base["j"]
+    assert edited["k"] == base["k"]
+
+
+def test_outer_loop_body_edit_spares_the_inner_interval():
+    base = fingerprints(SOURCE)
+    edited = fingerprints(SOURCE.replace("b = 2", "b = 20"))
+    assert edited["i"] != base["i"]
+    assert edited["j"] == base["j"]  # nested loop untouched
+
+
+def test_structural_edit_changes_the_enclosing_fingerprint():
+    inserted = SOURCE.replace("        d = 4", "        d = 4\n        e = 5")
+    base = fingerprints(SOURCE)
+    edited = fingerprints(inserted)
+    assert edited["k"] != base["k"]
+    assert edited["i"] == base["i"]

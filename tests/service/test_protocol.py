@@ -88,8 +88,8 @@ def test_service_errors_are_repro_errors():
     assert issubclass(ServiceError, ReproError)
     assert issubclass(ProtocolError, ReproError)
     assert all(isinstance(code, str) for code in ERROR_CODES)
-    assert set(REQUEST_TYPES) == {"ping", "compile", "batch", "status",
-                                  "drain"}
+    assert set(REQUEST_TYPES) == {"ping", "compile", "compile_delta",
+                                  "batch", "status", "drain"}
 
 
 # -- per-request options ------------------------------------------------------

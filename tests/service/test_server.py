@@ -95,6 +95,50 @@ def test_warm_cache_hits_on_repeat_requests(client):
     assert second["annotated_source"] == first["annotated_source"]
 
 
+def test_compile_delta_round_trip(client):
+    from repro.batch import source_fingerprint
+    base = generated_source(30, seed=41)
+    edited = base.replace("+ 1", "+ 2", 1)
+    assert edited != base
+    warm = client.compile(base, name="delta")
+    delta = client.compile_delta(edited, name="delta",
+                                 base_digest=source_fingerprint(base))
+    cold = generate_communication(edited)
+    assert warm["ok"] and delta["ok"]
+    assert delta["annotated_source"] == cold.annotated_source()
+    incr = delta["incremental"]
+    assert incr["base"] == source_fingerprint(base)
+    assert incr["whole_hits"] + incr["interval_hits"] > 0
+    assert 0 <= incr["intervals_changed"] <= incr["intervals_total"]
+
+
+def test_compile_delta_without_base_still_works(client):
+    source = generated_source(14, seed=43)
+    first = client.compile_delta(source, name="no-base")
+    assert first["ok"]
+    assert first["incremental"]["base"] is None
+
+
+def test_compile_delta_rejects_non_string_base(client):
+    with pytest.raises(ServiceError) as excinfo:
+        client.request({"type": "compile_delta", "name": "bad",
+                        "source": FIG11_SOURCE, "base": 42})
+    assert excinfo.value.code == E_BAD_REQUEST
+    assert "base" in str(excinfo.value)
+
+
+def test_compile_delta_needs_the_service_cache():
+    from repro.service import E_UNAVAILABLE
+    config = ServiceConfig(port=0, workers=1, pool="thread", use_cache=False)
+    with ThreadedServer(config) as threaded:
+        with ServiceClient(port=threaded.port) as connection:
+            with pytest.raises(ServiceError) as excinfo:
+                connection.compile_delta(FIG11_SOURCE, name="fig11")
+            assert excinfo.value.code == E_UNAVAILABLE
+            # plain compiles still run on a cacheless service
+            assert connection.compile(FIG11_SOURCE, name="fig11")["ok"]
+
+
 def test_hardened_mode_reports_rung(client):
     result = client.compile(FIG11_SOURCE, name="fig11",
                             options={"hardened": True})
