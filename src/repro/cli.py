@@ -303,10 +303,13 @@ def build_parser():
 
 
 def add_solver_backend_argument(parser):
-    parser.add_argument("--solver-backend", choices=["planned", "reference"],
+    parser.add_argument("--solver-backend",
+                        choices=["planned", "vector", "reference"],
                         default=None, metavar="BACKEND",
                         help="solver kernel: 'planned' (compiled "
-                             "schedules, the default) or 'reference' "
+                             "schedules, the default), 'vector' "
+                             "(level-batched bit-matrix kernels, "
+                             "word-parallel with NumPy) or 'reference' "
                              "(per-equation oracle); see docs/scaling.md")
 
 

@@ -25,10 +25,11 @@ returned as a structured :class:`DegradationReport`.
 
 The solver backend is part of the ladder too: a solver rung that fails
 under the (default) planned kernel is retried once with the
-``"reference"`` backend before the pipeline steps down a rung — the
-two backends are bit-identical by contract, so the retry is pure
-defense in depth against a kernel-layer fault, and every
-:class:`RungAttempt` records which backend produced it.
+``"reference"`` backend before the pipeline steps down a rung — and a
+rung running the ``"vector"`` kernel steps through ``"planned"`` first,
+then ``"reference"``.  The backends are bit-identical by contract, so
+the retries are pure defense in depth against a kernel-layer fault, and
+every :class:`RungAttempt` records which backend produced it.
 """
 
 from dataclasses import dataclass, field
@@ -199,6 +200,11 @@ class HardenedPipeline:
             if rung == "naive":
                 # No solver below this rung — backend is irrelevant.
                 backends = (None,)
+            elif primary == "vector":
+                # Extra degradation steps: the vector kernel falls back
+                # to the planned kernel, then to the reference solver,
+                # before giving the rung up.
+                backends = ("vector", "planned", "reference")
             elif primary != "reference":
                 # Extra degradation step: retry the same rung on the
                 # reference solver before giving the rung up.

@@ -1,0 +1,131 @@
+"""Word-parallel bitset storage: struct-of-arrays bit matrices.
+
+The planned backend stores each dataflow variable as a ``list[int]``
+column — one arbitrary-precision bitset per slot.  The vector backend
+(``repro.core.kernel.vector``) instead keeps every variable group as one
+contiguous *bit matrix*: a ``(variables, slots, words)`` tensor of
+``uint64`` words, so an S1–S4 equation can evaluate as a handful of
+word-wide ``|``/``&``/``&~`` operations across all slots of an interval
+level at once.
+
+This module is the storage layer and the NumPy seam:
+
+* :func:`numpy` returns the (optionally gated) NumPy module or ``None``
+  — NumPy is an *optional* accelerator (the ``kernels`` extra), and
+  setting ``REPRO_NO_NUMPY=1`` hides it even when installed, which is
+  how CI proves the pure-``int`` fallback path;
+* :func:`words_for` / :func:`pack_int` / :func:`unpack_row` /
+  :func:`pack_column` / :func:`unpack_column` convert between Python
+  ``int`` bitsets and little-endian ``uint64`` word rows,
+  bit-identically in both directions (word-boundary universes — 63, 64,
+  65 elements — round-trip exactly; see ``tests/core/test_bitmatrix.py``);
+* :class:`NumpyColumn` wraps one ``(slots, words)`` matrix in the
+  sequence protocol the rest of the codebase already speaks
+  (``column[slot]``, ``column[:] = values``, ``list(column)``), so the
+  incremental memo and every report path consume matrix-backed columns
+  exactly like list columns.
+"""
+
+import os
+
+try:  # pragma: no cover - exercised via the REPRO_NO_NUMPY CI leg
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+if os.environ.get("REPRO_NO_NUMPY"):
+    _np = None
+
+#: Bits per storage word.
+WORD_BITS = 64
+
+
+def numpy():
+    """The NumPy module, or ``None`` when absent or explicitly hidden
+    (``REPRO_NO_NUMPY=1``).  All vector-kernel call sites go through
+    this accessor, so tests can monkeypatch ``bitmatrix._np`` to prove
+    the fallback path."""
+    return _np
+
+
+def words_for(n_bits):
+    """Words needed to hold ``n_bits`` (at least one, so a zero-element
+    universe still has a well-formed row)."""
+    return max(1, (n_bits + WORD_BITS - 1) // WORD_BITS)
+
+
+def pack_int(bits, words):
+    """A nonnegative ``int`` bitset as ``words`` little-endian words."""
+    return bits.to_bytes(words * 8, "little")
+
+
+def unpack_row(row):
+    """One matrix row (``uint64`` array) back to an ``int`` bitset."""
+    return int.from_bytes(row.tobytes(), "little")
+
+
+def pack_column(values, words):
+    """A ``list[int]`` column as an ``(len(values), words)`` matrix."""
+    np = _np
+    data = b"".join(bits.to_bytes(words * 8, "little") for bits in values)
+    return np.frombuffer(data, dtype=np.uint64).reshape(len(values), words).copy()
+
+
+def unpack_column(matrix):
+    """An ``(n, words)`` matrix back to a ``list[int]`` column."""
+    raw = matrix.tobytes()
+    stride = matrix.shape[1] * 8
+    return [int.from_bytes(raw[i:i + stride], "little")
+            for i in range(0, len(raw), stride)]
+
+
+class NumpyColumn:
+    """Sequence-protocol view over one ``(slots, words)`` bit matrix.
+
+    Reads yield Python ``int`` bitsets; writes pack them back into the
+    underlying words — so matrix-backed :class:`~repro.core.kernel
+    .slots.SlotSolution` columns round-trip bit-identically through
+    every consumer of the list-column API (``column[slot]``,
+    ``column[:] = stored``, ``list(column)``)."""
+
+    __slots__ = ("rows",)
+
+    def __init__(self, rows):
+        self.rows = rows
+
+    def __len__(self):
+        return self.rows.shape[0]
+
+    def __iter__(self):
+        raw = self.rows.tobytes()
+        stride = self.rows.shape[1] * 8
+        for i in range(0, len(raw), stride):
+            yield int.from_bytes(raw[i:i + stride], "little")
+
+    def __getitem__(self, index):
+        if isinstance(index, slice):
+            return unpack_column(self.rows[index])
+        return int.from_bytes(self.rows[index].tobytes(), "little")
+
+    def __setitem__(self, index, value):
+        np = _np
+        words = self.rows.shape[1]
+        if isinstance(index, slice):
+            target = self.rows[index]
+            data = b"".join(bits.to_bytes(words * 8, "little")
+                            for bits in value)
+            target[:] = np.frombuffer(data, dtype=np.uint64).reshape(
+                target.shape[0], words)
+            return
+        self.rows[index] = np.frombuffer(
+            value.to_bytes(words * 8, "little"), dtype=np.uint64)
+
+    def __eq__(self, other):
+        if isinstance(other, NumpyColumn):
+            other = list(other)
+        if isinstance(other, (list, tuple)):
+            return list(self) == list(other)
+        return NotImplemented
+
+    def __repr__(self):
+        return f"NumpyColumn({list(self)!r})"

@@ -1,31 +1,89 @@
-"""Slot-indexed solution storage for the planned backend.
+"""Slot-indexed solution storage for the kernel backends.
 
 A :class:`SlotSolution` stores each of the fifteen variables as one
-flat ``list[int]`` bitset column indexed by plan slot, instead of the
-reference :class:`~repro.core.solution.Solution`'s dict-of-dicts.  The
-public API (``bits`` / ``set_bits`` / ``elements`` / ``nodes_with`` /
+slot-indexed bitset column instead of the reference
+:class:`~repro.core.solution.Solution`'s dict-of-dicts.  The public API
+(``bits`` / ``set_bits`` / ``elements`` / ``nodes_with`` /
 ``format_node``) is identical, so placements, reports and tests consume
-either interchangeably; the planned solver's sweeps additionally grab
-whole columns via :meth:`column` and index them by slot directly.
+either interchangeably; the kernel solvers additionally grab whole
+columns via :meth:`column` and index them by slot directly.
+
+Two storage engines back the same API:
+
+* ``"list"`` — one ``list[int]`` per variable (the planned backend's
+  hot path: plain C-speed list indexing);
+* ``"numpy"`` — one struct-of-arrays *bit matrix* per variable group
+  (``repro.core.kernel.bitmatrix``): the ten shared variables as a
+  ``(10, slots, words)`` ``uint64`` tensor and the five timed variables
+  as a ``(5, slots, words)`` tensor per timing, with :meth:`column`
+  returning a :class:`~repro.core.kernel.bitmatrix.NumpyColumn` view —
+  same values bit for bit, but the vector backend can run word-wide
+  operations across whole interval levels of the tensor at once.
+
+Contract notes shared by *all* solution stores (reference included):
+
+* ``set_bits`` accepts any node.  Nodes outside the plan land in a side
+  table instead of raising — the reference store has always accepted
+  arbitrary nodes, and the solvers only ever write plan nodes, so the
+  side table exists purely to keep the stores drop-in interchangeable
+  for consumers that annotate extra nodes.
+* ``nodes_with`` returns nodes in deterministic *view preorder* (plan
+  slot order), with any side-table nodes appended in insertion order —
+  reports and placements render identically regardless of backend.
 """
 
+from repro.core.kernel import bitmatrix
+from repro.core.kernel.bitmatrix import NumpyColumn
 from repro.core.problem import Timing
 from repro.core.solution import SHARED_VARIABLES, TIMED_VARIABLES
+
+#: Tensor row index of each shared (S1/S2) variable, in equation order.
+SHARED_INDEX = {name: i for i, name in enumerate(SHARED_VARIABLES)}
+
+#: Tensor row index of each timed (S3/S4) variable.
+TIMED_INDEX = {name: i for i, name in enumerate(TIMED_VARIABLES)}
 
 
 class SlotSolution:
     """All dataflow variables of one solved instance, as slot columns."""
 
-    def __init__(self, problem, view, plan):
+    def __init__(self, problem, view, plan, engine="list"):
         self.problem = problem
         self.view = view
         self.plan = plan
+        self.engine = engine
         n = plan.n
-        self._shared = {name: [0] * n for name in SHARED_VARIABLES}
-        self._timed = {
-            timing: {name: [0] * n for name in TIMED_VARIABLES}
-            for timing in Timing
-        }
+        self._extra = {}
+        if engine == "numpy":
+            np = bitmatrix.numpy()
+            if np is None:
+                raise ValueError(
+                    "numpy storage engine requested but NumPy is "
+                    "unavailable (install the 'kernels' extra)")
+            words = bitmatrix.words_for(len(problem.universe))
+            self.words = words
+            self.shared_tensor = np.zeros((len(SHARED_VARIABLES), n, words),
+                                          dtype=np.uint64)
+            self.timed_tensor = {
+                timing: np.zeros((len(TIMED_VARIABLES), n, words),
+                                 dtype=np.uint64)
+                for timing in Timing
+            }
+            self._shared = {
+                name: NumpyColumn(self.shared_tensor[i])
+                for name, i in SHARED_INDEX.items()
+            }
+            self._timed = {
+                timing: {name: NumpyColumn(self.timed_tensor[timing][i])
+                         for name, i in TIMED_INDEX.items()}
+                for timing in Timing
+            }
+        else:
+            self._shared = {name: [0] * n for name in SHARED_VARIABLES}
+            self._timed = {
+                timing: {name: [0] * n for name in TIMED_VARIABLES}
+                for timing in Timing
+            }
 
     def _store(self, name, timing):
         if name in self._shared:
@@ -34,18 +92,33 @@ class SlotSolution:
             raise KeyError(f"variable {name} requires a timing")
         return self._timed[timing][name]
 
+    def _extra_store(self, name, timing):
+        key = (name, None if name in self._shared else timing)
+        store = self._extra.get(key)
+        if store is None:
+            store = self._extra[key] = {}
+        return store
+
     def column(self, name, timing=None):
         """The raw slot-indexed bitset column (the solver's hot path)."""
         return self._store(name, timing)
 
     def set_bits(self, name, node, bits, timing=None):
-        self._store(name, timing)[self.plan.slot_of[node]] = bits
+        store = self._store(name, timing)  # unknown *names* still raise
+        slot = self.plan.slot_of.get(node)
+        if slot is None:
+            # Same contract as the reference store: any node is
+            # accepted; non-plan nodes live in the side table.
+            self._extra_store(name, timing)[node] = bits
+            return
+        store[slot] = bits
 
     def bits(self, name, node, timing=None):
         """Bitset value of variable ``name`` at ``node``."""
         slot = self.plan.slot_of.get(node)
         if slot is None:
-            return 0
+            key = (name, None if name in self._shared else timing)
+            return self._extra.get(key, {}).get(node, 0)
         return self._store(name, timing)[slot]
 
     def elements(self, name, node, timing=None):
@@ -53,11 +126,18 @@ class SlotSolution:
         return self.problem.universe.frozen(self.bits(name, node, timing))
 
     def nodes_with(self, name, element, timing=None):
-        """All nodes whose variable ``name`` contains ``element``."""
+        """All nodes whose variable ``name`` contains ``element``, in
+        deterministic view preorder (side-table nodes appended in
+        insertion order)."""
         bit = self.problem.universe.bit(element)
         store = self._store(name, timing)
-        return [node for node, bits in zip(self.plan.nodes, store)
-                if bits & bit]
+        found = [node for node, bits in zip(self.plan.nodes, store)
+                 if bits & bit]
+        key = (name, None if name in self._shared else timing)
+        extra = self._extra.get(key)
+        if extra:
+            found.extend(node for node, bits in extra.items() if bits & bit)
+        return found
 
     def format_node(self, node, timing=None):
         """Multi-line dump of every variable at ``node`` (debugging)."""

@@ -1,0 +1,890 @@
+"""The vector solver: S1–S4 as word-parallel bit-matrix kernels.
+
+Same equations, same budget semantics, bit-identical results as the
+planned backend — but instead of one Python bitwise op per equation per
+slot, each :class:`~repro.core.kernel.plan.SolverPlan` is compiled once
+into a *level schedule* whose steps evaluate every S1–S4 equation as a
+handful of word-wide ``|``/``&``/``&~`` operations across all slots of
+an interval level at once, against the struct-of-arrays
+:mod:`~repro.core.kernel.bitmatrix` storage.
+
+Scheduling
+----------
+The S1/S2 sweep is split into *units*: one ``loc`` unit per child (Eqs
+9/10) and one ``core`` unit per node (Eqs 1–8), ranked in the exact
+sequential evaluation order (:meth:`SolverPlan.unit_sequence`).  Every
+cross-unit operand is an edge; every edge — read *and* anti-dependence
+— is directed from lower to higher rank, so longest-path leveling
+yields a schedule where each unit sees exactly the operand values the
+sequential sweep would have seen: level execution is *state-equivalent
+to the sequential sweep, bit for bit*, including reads of not-yet-
+written values (jumps against sweep order), which see their pre-sweep
+state in both.  S3 (Eqs 11–13) is leveled the same way over ascending
+slots; S4 (14/15) is two whole-matrix steps.
+
+Backward fixpoint
+-----------------
+For backward views with jumps, rounds re-evaluate only *dirty* units —
+those whose inputs changed — as level-batched dirty-slot masks: a
+max-heap keyed by level pops all dirty units of one level at a time and
+evaluates them as one word-parallel batch, with changed units flagging
+their readers (later levels join the current round, earlier levels the
+next — exactly the planned backend's round boundary, so round counts,
+budget outcomes and the final convergence probe all match it and the
+reference solver).  Batches below :data:`SCALAR_BATCH_MAX` fall back to
+the shared scalar unit kernels (:mod:`~repro.core.kernel.planned`) —
+the dirty-mask machinery is used only where it is profitable.
+
+NumPy is optional (the ``kernels`` extra): without it the same schedule
+executes through the scalar unit kernels over plain ``list[int]``
+columns — identical values, identical budget semantics, no third code
+path for the equations themselves.
+"""
+
+import heapq
+
+from repro.core.kernel import bitmatrix
+from repro.core.kernel.plan import plan_for
+from repro.core.kernel.planned import (build_operand_columns, core_stale,
+                                       core_values, loc_stale, loc_values)
+from repro.core.kernel.slots import SHARED_INDEX, TIMED_INDEX, SlotSolution
+from repro.core.problem import Timing
+from repro.core.solution import SHARED_VARIABLES
+from repro.obs.collector import current_collector
+from repro.util.errors import SolverBudgetError, SolverError
+
+_ST = SHARED_INDEX["STEAL"]
+_GV = SHARED_INDEX["GIVE"]
+_BL = SHARED_INDEX["BLOCK"]
+_TO = SHARED_INDEX["TAKEN_out"]
+_TK = SHARED_INDEX["TAKE"]
+_TI = SHARED_INDEX["TAKEN_in"]
+_BLl = SHARED_INDEX["BLOCK_loc"]
+_TKl = SHARED_INDEX["TAKE_loc"]
+_GVl = SHARED_INDEX["GIVE_loc"]
+_STl = SHARED_INDEX["STEAL_loc"]
+
+_GIVEN_in = TIMED_INDEX["GIVEN_in"]
+_GIVEN = TIMED_INDEX["GIVEN"]
+_GIVEN_out = TIMED_INDEX["GIVEN_out"]
+_RES_in = TIMED_INDEX["RES_in"]
+_RES_out = TIMED_INDEX["RES_out"]
+
+#: Dirty batches smaller than this run through the scalar unit kernels
+#: instead of the word-parallel path — per-dispatch overhead beats the
+#: word parallelism on one or two rows.
+SCALAR_BATCH_MAX = 3
+
+#: Auto-engine cutover, in slot·words.  Below this the whole instance
+#: runs the scalar ``"int"`` engine even when NumPy is installed: the
+#: matrix path pays a fixed NumPy-dispatch cost per schedule level, and
+#: on small instances (every level a handful of rows, one or two words)
+#: that overhead swamps the word parallelism — measured ~10x slower
+#: than the scalar path at 640 nodes and 8 elements, break-even around
+#: a few tens of thousands of slot·words (``docs/scaling.md``).
+AUTO_MATRIX_THRESHOLD = 32768
+
+
+class VectorSchedule:
+    """The problem-independent level schedule for one plan.
+
+    Unit ids: ``s`` for the core unit of slot ``s`` (Eqs 1–8),
+    ``plan.n + c`` for the loc unit of child slot ``c`` (Eqs 9/10).
+    """
+
+    def __init__(self, plan):
+        n = plan.n
+        self.plan = plan
+        self.loc0 = loc0 = n
+
+        rank = [-1] * (2 * n)
+        units = []
+        for kind, x in plan.unit_sequence():
+            u = x if kind == "core" else loc0 + x
+            rank[u] = len(units)
+            units.append(u)
+        self.units = tuple(units)
+        self.rank = rank
+
+        reads = [()] * (2 * n)
+        for s in range(n):
+            rd = set()
+            lc = plan.lastchild[s]
+            if lc >= 0:
+                rd.add(loc0 + lc)
+            for rel in (plan.succs_e, plan.succs_fjs, plan.succs_f,
+                        plan.succs_ef):
+                for t in rel[s]:
+                    if t != s:
+                        rd.add(t)
+            reads[s] = tuple(rd)
+            for c in plan.children[s]:
+                rd2 = {c}
+                for p in plan.preds_loc[c]:
+                    rd2.add(loc0 + p)
+                for p in plan.preds_syn[c]:
+                    rd2.add(loc0 + p)
+                rd2.discard(loc0 + c)
+                reads[loc0 + c] = tuple(rd2)
+        self.reads = tuple(reads)
+
+        readers = [[] for _ in range(2 * n)]
+        for u in units:
+            for v in reads[u]:
+                readers[v].append(u)
+        self.readers = tuple(tuple(r) for r in readers)
+
+        # Longest path over read and anti edges, both directed from
+        # lower to higher rank; processing in rank order makes this one
+        # linear pass.
+        level = [0] * (2 * n)
+        for u in units:
+            ru = rank[u]
+            best = 0
+            for v in reads[u]:
+                if rank[v] < ru and level[v] > best:
+                    best = level[v]
+            for v in readers[u]:
+                if rank[v] < ru and level[v] > best:
+                    best = level[v]
+            level[u] = best + 1
+        self.level = level
+        n_levels = max((level[u] for u in units), default=0)
+        loc_levels = [[] for _ in range(n_levels)]
+        core_levels = [[] for _ in range(n_levels)]
+        for u in units:
+            if u >= loc0:
+                loc_levels[level[u] - 1].append(u - loc0)
+            else:
+                core_levels[level[u] - 1].append(u)
+        self.s1_levels = tuple(
+            (tuple(lo), tuple(co))
+            for lo, co in zip(loc_levels, core_levels))
+
+        #: Units with a read *against* sweep order — the only values the
+        #: leveled sweep (like the sequential one) cannot have made
+        #: current; the backward fixpoint's complete initial worklist.
+        self.seeds = tuple(u for u in units
+                           if any(rank[v] > rank[u] for v in reads[u]))
+
+        # S3: ascending slots, reads = header + FJ predecessors, again
+        # with both edge directions strict (a predecessor at a higher
+        # slot must be read *before* it is written — it contributes its
+        # pre-sweep value, exactly as in the sequential sweep).
+        reads3 = [()] * n
+        for s in range(n):
+            rd = set()
+            h = plan.header[s]
+            if h >= 0 and h != s:
+                rd.add(h)
+            for p in plan.preds_fj[s]:
+                if p != s:
+                    rd.add(p)
+            reads3[s] = tuple(rd)
+        readers3 = [[] for _ in range(n)]
+        for s in range(n):
+            for v in reads3[s]:
+                readers3[v].append(s)
+        level3 = [0] * n
+        for s in range(n):
+            best = 0
+            for v in reads3[s]:
+                if v < s and level3[v] > best:
+                    best = level3[v]
+            for v in readers3[s]:
+                if v < s and level3[v] > best:
+                    best = level3[v]
+            level3[s] = best + 1
+        n_levels3 = max(level3, default=0)
+        s3 = [[] for _ in range(n_levels3)]
+        for s in range(n):
+            s3[level3[s] - 1].append(s)
+        self.s3_levels = tuple(tuple(lv) for lv in s3)
+
+
+def schedule_for(plan):
+    """The (plan-cached) :class:`VectorSchedule`."""
+    cached = plan.__dict__.get("_vector_schedule")
+    if cached is None:
+        cached = plan.__dict__["_vector_schedule"] = VectorSchedule(plan)
+    return cached
+
+
+# -- numpy step compilation ---------------------------------------------------
+
+def _pos(np, targets, make_idx):
+    """Per-position gather descriptors for a ragged relation: for each
+    position ``k``, the member rows having a ``k``-th target and the
+    (stacked) flat tensor indices to gather for them."""
+    out = []
+    k = 0
+    while True:
+        rows = [i for i, t in enumerate(targets) if len(t) > k]
+        if not rows:
+            break
+        slots = [targets[i][k] for i in rows]
+        out.append((np.asarray(rows, dtype=np.intp),
+                    np.asarray(make_idx(slots), dtype=np.intp)))
+        k += 1
+    return tuple(out)
+
+
+def _compile_loc(np, plan, children):
+    """Gather/scatter index arrays for one batch of loc units."""
+    n = plan.n
+    C = list(children)
+    gts_idx = np.asarray([_GV * n + c for c in C]
+                         + [_TK * n + c for c in C]
+                         + [_ST * n + c for c in C], dtype=np.intp)
+    predloc = _pos(np, [plan.preds_loc[c] for c in C],
+                   lambda ss: [_GVl * n + p for p in ss]
+                   + [_STl * n + p for p in ss])
+    syn = _pos(np, [plan.preds_syn[c] for c in C],
+               lambda ss: [_STl * n + p for p in ss])
+    scatter = np.asarray([_GVl * n + c for c in C]
+                         + [_STl * n + c for c in C], dtype=np.intp)
+    return (np.asarray(C, dtype=np.intp), gts_idx, predloc, syn, scatter)
+
+
+def _compile_core(np, plan, slots):
+    """Gather/scatter index arrays for one batch of core units."""
+    n = plan.n
+    S = list(slots)
+    op_idx = np.asarray([0 * n + s for s in S] + [1 * n + s for s in S]
+                        + [2 * n + s for s in S], dtype=np.intp)
+    lc_rows = [i for i, s in enumerate(S) if plan.lastchild[s] >= 0]
+    lc_slots = [plan.lastchild[S[i]] for i in lc_rows]
+    lc = (np.asarray(lc_rows, dtype=np.intp),
+          np.asarray([_STl * n + c for c in lc_slots]
+                     + [_GVl * n + c for c in lc_slots], dtype=np.intp))
+    entry = _pos(np, [plan.succs_e[s] for s in S],
+                 lambda ss: [_BLl * n + t for t in ss]
+                 + [_TI * n + t for t in ss]
+                 + [_TKl * n + t for t in ss])
+    fjs = _pos(np, [plan.succs_fjs[s] for s in S],
+               lambda ss: [_TI * n + t for t in ss])
+    f = _pos(np, [plan.succs_f[s] for s in S],
+             lambda ss: [_BLl * n + t for t in ss])
+    ef = _pos(np, [plan.succs_ef[s] for s in S],
+              lambda ss: [_TKl * n + t for t in ss])
+    scatter = np.asarray(
+        [v * n + s for v in (_ST, _GV, _BL, _TO, _TK, _TI, _BLl, _TKl)
+         for s in S], dtype=np.intp)
+    return (np.asarray(S, dtype=np.intp), op_idx, lc, entry, fjs, ef, f,
+            scatter)
+
+
+def _compile_s3(np, plan, slots):
+    """Index arrays for one batch of S3 units (Eqs 11–13)."""
+    n = plan.n
+    S = list(slots)
+    hdr_rows = [i for i, s in enumerate(S) if plan.header[s] >= 0]
+    hdr_slots = [plan.header[S[i]] for i in hdr_rows]
+    hdr = (np.asarray(hdr_rows, dtype=np.intp),
+           np.asarray([_GIVEN * n + h for h in hdr_slots], dtype=np.intp),
+           np.asarray([_ST * n + h for h in hdr_slots], dtype=np.intp))
+    fj = _pos(np, [plan.preds_fj[s] for s in S],
+              lambda ss: [_GIVEN_out * n + p for p in ss])
+    self_idx = np.asarray([_TI * n + s for s in S] + [_TK * n + s for s in S]
+                          + [_GV * n + s for s in S]
+                          + [_ST * n + s for s in S], dtype=np.intp)
+    try:
+        root_row = S.index(plan.root_slot)
+    except ValueError:
+        root_row = -1
+    scatter = np.asarray([_GIVEN_in * n + s for s in S]
+                         + [_GIVEN * n + s for s in S]
+                         + [_GIVEN_out * n + s for s in S], dtype=np.intp)
+    return (np.asarray(S, dtype=np.intp), hdr, fj, self_idx, root_row,
+            scatter)
+
+
+class _CompiledKernel:
+    """The schedule's per-level index arrays, built once per plan."""
+
+    def __init__(self, schedule, np):
+        plan = schedule.plan
+        self.s1 = tuple(
+            (_compile_loc(np, plan, loc) if loc else None,
+             _compile_core(np, plan, core) if core else None)
+            for loc, core in schedule.s1_levels)
+        self.s3 = tuple(_compile_s3(np, plan, lv)
+                        for lv in schedule.s3_levels)
+        self.fj_succs = _pos(np, plan.succs_fj,
+                             lambda ss: list(ss))
+
+
+def compiled_for(plan, np):
+    """The (plan-cached) :class:`_CompiledKernel`."""
+    cached = plan.__dict__.get("_vector_compiled")
+    if cached is None:
+        cached = plan.__dict__["_vector_compiled"] = _CompiledKernel(
+            schedule_for(plan), np)
+    return cached
+
+
+# -- the solver ---------------------------------------------------------------
+
+class VectorSolver:
+    """Level-batched solver; :func:`repro.core.solver.solve` with
+    ``backend="vector"`` is the usual entry point.
+
+    ``max_rounds`` and ``preset`` have exactly the
+    :class:`~repro.core.kernel.planned.PlannedSolver` semantics —
+    identical budget outcomes, identical error types, bit-identical
+    values.
+
+    ``engine`` picks the arithmetic: ``"numpy"`` runs the word-parallel
+    bit-matrix kernels over a matrix-backed solution, ``"int"`` runs the
+    same schedule through the scalar unit kernels over list columns.
+    The default (``None``) auto-selects: the matrix path only pays for
+    its per-level dispatch on bulk instances, so small solves take the
+    scalar path even when NumPy is installed
+    (:data:`AUTO_MATRIX_THRESHOLD`, measured in slot·words).  Both
+    engines are bit-identical with identical budget semantics.
+    """
+
+    def __init__(self, view, problem, max_rounds=None, plan=None,
+                 preset=None, engine=None):
+        self.view = view
+        self.problem = problem
+        self.max_rounds = max_rounds
+        problem.validate_against(view)
+        self.plan = plan if plan is not None else plan_for(view)
+        if preset and self.plan.requires_iteration:
+            raise SolverError(
+                "preset consumption values require a non-iterating plan "
+                "(the sparse fixpoint may revisit preset bundles)")
+        self.preset = dict(preset) if preset else {}
+        np = bitmatrix.numpy()
+        if engine not in (None, "numpy", "int"):
+            raise SolverError(f"unknown vector engine {engine!r}")
+        if engine == "numpy" and np is None:
+            raise SolverError(
+                "vector engine 'numpy' requested but NumPy is unavailable")
+        if engine is None:
+            words = bitmatrix.words_for(len(problem.universe))
+            bulk = self.plan.n * words >= AUTO_MATRIX_THRESHOLD
+            engine = "numpy" if (np is not None and bulk) else "int"
+        self._np = np if engine == "numpy" else None
+        self.engine = engine
+        self.schedule = schedule_for(self.plan)
+        self.solution = SlotSolution(
+            problem, view, self.plan,
+            engine="numpy" if self._np is not None else "list")
+        self._obs = current_collector()
+        self._full_sweeps = 0
+        self._sparse_rounds = 0
+        self._sparse_bundles = 0
+        self._sparse_children = 0
+        self._row_writes = 0
+
+    # -- driver --------------------------------------------------------------
+
+    def run(self):
+        obs = self._obs
+        start = obs.clock() if obs.enabled else 0.0
+        plan = self.plan
+        np = self._np
+        sol = self.solution
+
+        take0, give0, steal0 = build_operand_columns(plan, self.problem)
+        self._operands = (take0, give0, steal0)
+        self._trust = self.problem.trust_loop_side_effects
+        self._cols = tuple(sol.column(name) for name in SHARED_VARIABLES)
+        if np is not None:
+            words = sol.words
+            self._words = words
+            self._flat10 = sol.shared_tensor.reshape(
+                10 * plan.n, words)
+            opm = np.concatenate([
+                bitmatrix.pack_column(take0, words),
+                bitmatrix.pack_column(give0, words),
+                bitmatrix.pack_column(steal0, words)])
+            self._opflat = opm
+            self._kernel = compiled_for(plan, np)
+        else:
+            self._words = bitmatrix.words_for(len(self.problem.universe))
+
+        excluded = set()
+        if self.preset:
+            columns = tuple(self._cols)
+            for s, values in self.preset.items():
+                for column, bits in zip(columns, values):
+                    column[s] = bits
+                excluded.add(s)
+                for c in plan.children[s]:
+                    excluded.add(self.schedule.loc0 + c)
+
+        natural = budget = None
+        checked = False
+        self._sweep_s1(excluded)
+        converged = True
+        if plan.requires_iteration:
+            natural = plan.natural_bound
+            budget = natural if self.max_rounds is None else self.max_rounds
+            converged, checked = self._fixpoint(budget)
+            if not converged:
+                if self.max_rounds is not None:
+                    raise SolverBudgetError(
+                        f"consumption fixpoint not reached within "
+                        f"{budget} rounds (natural bound {natural})"
+                    )
+                raise SolverError(
+                    f"consumption fixpoint not reached within the "
+                    f"natural bound of {natural} rounds"
+                )
+        for timing in Timing:
+            self._sweep_production(timing)
+            self._sweep_results(timing)
+        if obs.enabled:
+            self._emit_run_event(start, natural, budget, converged, checked)
+        return self.solution
+
+    # -- S1/S2 ---------------------------------------------------------------
+
+    def _sweep_s1(self, excluded):
+        """One whole-graph S1/S2 sweep over the level schedule (preset
+        units replay their spliced values and are skipped)."""
+        obs = self._obs
+        sweep_start = obs.clock() if obs.enabled else 0.0
+        plan = self.plan
+        if self._np is None:
+            loc0 = self.schedule.loc0
+            for kind, x in plan.unit_sequence():
+                u = x if kind == "core" else loc0 + x
+                if u in excluded:
+                    continue
+                if kind == "loc":
+                    self._eval_scalar([x], ())
+                else:
+                    self._eval_scalar((), [x])
+        elif not excluded:
+            for loc_level, core_level in self._kernel.s1:
+                if loc_level is not None:
+                    gvl, stl = self._loc_batch(loc_level)
+                    self._scatter(loc_level[4], (gvl, stl))
+                if core_level is not None:
+                    new = self._core_batch(core_level)
+                    self._scatter(core_level[7], new)
+            self._row_writes += 2 * (plan.n - 1) + 8 * plan.n
+        else:
+            loc0 = self.schedule.loc0
+            for loc, core in self.schedule.s1_levels:
+                loc = [c for c in loc if loc0 + c not in excluded]
+                core = [s for s in core if s not in excluded]
+                self._eval_batch(loc, core, detect=False)
+        self._full_sweeps += 1
+        if obs.enabled:
+            obs.event("solver", "sweep", kind="consumption",
+                      index=self._full_sweeps, changed=True,
+                      duration_s=obs.clock() - sweep_start)
+            obs.count("sweeps", "consumption")
+
+    def _loc_batch(self, compiled):
+        """Eqs 9/10 for one batch of loc units, word-parallel."""
+        np = self._np
+        F = self._flat10
+        C, gts_idx, predloc, syn, _scatter = compiled
+        m = len(C)
+        vals = np.take(F, gts_idx, axis=0)
+        gv_c, tk_c, st_c = vals[:m], vals[m:2 * m], vals[2 * m:]
+        acc = np.zeros_like(gv_c)
+        stl = st_c.copy()
+        for j, (rows, idx2) in enumerate(predloc):
+            v = np.take(F, idx2, axis=0)
+            k = len(rows)
+            gvl_p, stl_p = v[:k], v[k:]
+            if j == 0:
+                acc[rows] = gvl_p
+            else:
+                acc[rows] &= gvl_p
+            stl[rows] |= stl_p & ~gvl_p
+        gvl = (gv_c | tk_c | acc) & ~st_c
+        for rows, idx in syn:
+            stl[rows] |= np.take(F, idx, axis=0)
+        return gvl, stl
+
+    def _core_batch(self, compiled):
+        """Eqs 1–8 for one batch of core units, word-parallel, with the
+        sequential in-unit propagation (each equation sees the earlier
+        ones' new values through the batch-local arrays)."""
+        np = self._np
+        F = self._flat10
+        S, op_idx, lc, entry, fjs, ef, f, _scatter = compiled
+        m = len(S)
+        ops = np.take(self._opflat, op_idx, axis=0)
+        take0, give0, steal0 = ops[:m], ops[m:2 * m], ops[2 * m:]
+        # Eq 1/2
+        st = steal0.copy()
+        gv = give0 if not self._trust else give0.copy()
+        lc_rows, lc_idx = lc
+        if len(lc_rows):
+            vals = np.take(F, lc_idx, axis=0)
+            k = len(lc_rows)
+            st[lc_rows] |= vals[:k]
+            if self._trust:
+                gv[lc_rows] |= vals[k:]
+        # Eq 3 (+ Eq 5's ENTRY gathers, same positions)
+        bl = st | gv
+        guaranteed = possible = None
+        if entry:
+            guaranteed = np.zeros_like(st)
+            possible = np.zeros_like(st)
+            for rows, idx3 in entry:
+                vals = np.take(F, idx3, axis=0)
+                k = len(rows)
+                bl[rows] |= vals[:k]
+                guaranteed[rows] |= vals[k:2 * k]
+                possible[rows] |= vals[2 * k:]
+        # Eq 4 (meet over FJS; empty meet = ⊥ = the zero rows)
+        to = np.zeros_like(st)
+        for j, (rows, idx) in enumerate(fjs):
+            vals = np.take(F, idx, axis=0)
+            if j == 0:
+                to[rows] = vals
+            else:
+                to[rows] &= vals
+        # Eq 5
+        if guaranteed is not None:
+            tk = take0 | (guaranteed & ~st)
+            tk |= (to & possible) & ~bl
+        else:
+            tk = take0
+        # Eq 6
+        ti = tk | (to & ~bl)
+        # Eq 7
+        bll = bl.copy()
+        for rows, idx in f:
+            bll[rows] |= np.take(F, idx, axis=0)
+        bll &= ~tk
+        # Eq 8
+        if ef:
+            acc = np.zeros_like(st)
+            for rows, idx in ef:
+                acc[rows] |= np.take(F, idx, axis=0)
+            tkl = tk | (acc & ~bl)
+        else:
+            tkl = tk
+        return st, gv, bl, to, tk, ti, bll, tkl
+
+    def _scatter(self, scatter_idx, arrays):
+        self._flat10[scatter_idx] = self._np.concatenate(arrays)
+
+    def _eval_batch(self, loc_slots, core_slots, detect=True):
+        """Evaluate an ad-hoc batch of units (one level's dirty set);
+        returns the changed unit ids when ``detect``.
+
+        Small batches go through the scalar unit kernels — the
+        dirty-mask machinery only where it is profitable."""
+        if not loc_slots and not core_slots:
+            return []
+        np = self._np
+        if np is None or len(loc_slots) + len(core_slots) <= SCALAR_BATCH_MAX:
+            return self._eval_scalar(loc_slots, core_slots, detect)
+        plan = self.plan
+        F = self._flat10
+        changed = []
+        if loc_slots:
+            compiled = _compile_loc(np, plan, loc_slots)
+            gvl, stl = self._loc_batch(compiled)
+            new = np.concatenate((gvl, stl))
+            if detect:
+                old = np.take(F, compiled[4], axis=0)
+                diff = (old != new).any(axis=1).reshape(2, len(loc_slots))
+                loc0 = self.schedule.loc0
+                changed.extend(loc0 + c for c, hit
+                               in zip(loc_slots, diff.any(axis=0)) if hit)
+            F[compiled[4]] = new
+        if core_slots:
+            compiled = _compile_core(np, plan, core_slots)
+            new = np.concatenate(self._core_batch(compiled))
+            if detect:
+                old = np.take(F, compiled[7], axis=0)
+                diff = (old != new).any(axis=1).reshape(8, len(core_slots))
+                changed.extend(s for s, hit
+                               in zip(core_slots, diff.any(axis=0)) if hit)
+            F[compiled[7]] = new
+        self._row_writes += 2 * len(loc_slots) + 8 * len(core_slots)
+        return changed
+
+    def _eval_scalar(self, loc_slots, core_slots, detect=True):
+        """The same batch through the shared scalar unit kernels."""
+        plan = self.plan
+        cols = self._cols
+        GVl_col, STl_col = cols[_GVl], cols[_STl]
+        loc0 = self.schedule.loc0
+        changed = []
+        for c in loc_slots:
+            gvl, stl = loc_values(plan, cols, c)
+            hit = False
+            if GVl_col[c] != gvl:
+                GVl_col[c] = gvl
+                hit = True
+            if STl_col[c] != stl:
+                STl_col[c] = stl
+                hit = True
+            if hit and detect:
+                changed.append(loc0 + c)
+        for s in core_slots:
+            new = core_values(plan, self._operands, self._trust, cols, s)
+            hit = False
+            for column, bits in zip(cols, new):
+                if column[s] != bits:
+                    column[s] = bits
+                    hit = True
+            if hit and detect:
+                changed.append(s)
+        self._row_writes += 2 * len(loc_slots) + 8 * len(core_slots)
+        return changed
+
+    # -- backward fixpoint ---------------------------------------------------
+
+    def _fixpoint(self, budget):
+        """Dirty-unit rounds to the consumption fixpoint; returns
+        ``(converged, checked)`` with the planned/reference budget
+        semantics (round ``k`` is state-equivalent to dense sweep
+        ``k+1``)."""
+        obs = self._obs
+        schedule = self.schedule
+        level = schedule.level
+        rank = schedule.rank
+        readers = schedule.readers
+        dirty = set(schedule.seeds)
+        converged = False
+        for _ in range(budget):
+            round_start = obs.clock() if obs.enabled else 0.0
+            self._sparse_rounds += 1
+            heap = [(level[u], u) for u in dirty]
+            heapq.heapify(heap)
+            queued = set(dirty)
+            next_dirty = set()
+            evaluated = 0
+            changed_any = False
+            while heap:
+                lv = heap[0][0]
+                loc_slots = []
+                core_slots = []
+                while heap and heap[0][0] == lv:
+                    _, u = heapq.heappop(heap)
+                    if u >= schedule.loc0:
+                        loc_slots.append(u - schedule.loc0)
+                    else:
+                        core_slots.append(u)
+                evaluated += len(loc_slots) + len(core_slots)
+                self._sparse_bundles += len(core_slots)
+                self._sparse_children += len(loc_slots)
+                for u in self._eval_batch(loc_slots, core_slots):
+                    changed_any = True
+                    for r in readers[u]:
+                        if rank[r] > rank[u]:
+                            if r not in queued:
+                                queued.add(r)
+                                heapq.heappush(heap, (level[r], r))
+                        else:
+                            next_dirty.add(r)
+            if obs.enabled:
+                obs.event("solver", "sweep", kind="consumption_sparse",
+                          index=self._sparse_rounds, changed=changed_any,
+                          evaluated=evaluated,
+                          duration_s=obs.clock() - round_start)
+                obs.count("sweeps", "consumption_sparse")
+            if not changed_any:
+                converged = True
+                break
+            dirty = next_dirty
+        checked = False
+        if not converged:
+            # Budget exhausted with every round still changing: decide
+            # with the side-effect-free probe over the pending dirty
+            # units — everything else was evaluated against its current
+            # inputs and is stable by construction.
+            checked = True
+            converged = not any(self._unit_stale(u)
+                                for u in sorted(dirty, reverse=True))
+            if obs.enabled:
+                obs.event("solver", "convergence_check", converged=converged)
+        return converged, checked
+
+    def _unit_stale(self, u):
+        plan = self.plan
+        if u >= self.schedule.loc0:
+            return loc_stale(plan, self._cols, u - self.schedule.loc0)
+        return core_stale(plan, self._operands, self._trust, self._cols, u)
+
+    # -- S3/S4 ---------------------------------------------------------------
+
+    def _sweep_production(self, timing):
+        obs = self._obs
+        sweep_start = obs.clock() if obs.enabled else 0.0
+        plan = self.plan
+        if self._np is None:
+            self._production_scalar(timing)
+        else:
+            self._production_vector(timing)
+        self._row_writes += 3 * plan.n
+        if obs.enabled:
+            obs.event("solver", "sweep", kind="production",
+                      timing=timing.value,
+                      duration_s=obs.clock() - sweep_start)
+            obs.count("sweeps", "production")
+
+    def _production_vector(self, timing):
+        np = self._np
+        F = self._flat10
+        plan = self.plan
+        eager = timing is Timing.EAGER
+        T5 = self.solution.timed_tensor[timing]
+        t5flat = T5.reshape(5 * plan.n, self._words)
+        for S, hdr, fj, self_idx, root_row, scatter in self._kernel.s3:
+            m = len(S)
+            vals = np.take(F, self_idx, axis=0)
+            ti, tkv = vals[:m], vals[m:2 * m]
+            gvv, stv = vals[2 * m:3 * m], vals[3 * m:]
+            # Eq 11
+            bits = np.zeros_like(ti)
+            hrows, gidx, sidx = hdr
+            if len(hrows):
+                bits[hrows] = (np.take(t5flat, gidx, axis=0)
+                               & ~np.take(F, sidx, axis=0))
+            meet = np.zeros_like(ti)
+            some = np.zeros_like(ti)
+            for j, (rows, goidx) in enumerate(fj):
+                v = np.take(t5flat, goidx, axis=0)
+                if j == 0:
+                    meet[rows] = v
+                else:
+                    meet[rows] &= v
+                some[rows] |= v
+            bits |= meet
+            bits |= ti & some
+            # Eq 12
+            produced = bits | (ti if eager else tkv)
+            if root_row >= 0:
+                produced[root_row] = bits[root_row]
+            # Eq 13
+            gout = (gvv | produced) & ~stv
+            t5flat[scatter] = np.concatenate((bits, produced, gout))
+
+    def _production_scalar(self, timing):
+        plan = self.plan
+        sol = self.solution
+        ST, GV = self._cols[_ST], self._cols[_GV]
+        TK, TI = self._cols[_TK], self._cols[_TI]
+        given_in = sol.column("GIVEN_in", timing)
+        given = sol.column("GIVEN", timing)
+        given_out = sol.column("GIVEN_out", timing)
+        eager = timing is Timing.EAGER
+        root_slot = plan.root_slot
+        headers = plan.header
+        preds_fj = plan.preds_fj
+        for s in range(plan.n):
+            # Eq 11
+            h = headers[s]
+            bits = given[h] & ~ST[h] if h >= 0 else 0
+            preds = preds_fj[s]
+            if preds:
+                meet = some = given_out[preds[0]]
+                for p in preds[1:]:
+                    value = given_out[p]
+                    meet &= value
+                    some |= value
+            else:
+                meet = some = 0
+            bits |= meet
+            bits |= TI[s] & some
+            given_in[s] = bits
+            # Eq 12
+            if s == root_slot:
+                produced = bits
+            elif eager:
+                produced = bits | TI[s]
+            else:
+                produced = bits | TK[s]
+            given[s] = produced
+            # Eq 13
+            given_out[s] = (GV[s] | produced) & ~ST[s]
+
+    def _sweep_results(self, timing):
+        obs = self._obs
+        sweep_start = obs.clock() if obs.enabled else 0.0
+        plan = self.plan
+        sol = self.solution
+        np = self._np
+        if np is not None:
+            T5 = sol.timed_tensor[timing]
+            given_in, given, given_out = T5[_GIVEN_in], T5[_GIVEN], T5[_GIVEN_out]
+            # Eq 14
+            T5[_RES_in] = given & ~given_in
+            # Eq 15
+            acc = np.zeros_like(given_in)
+            for rows, idx in self._kernel.fj_succs:
+                acc[rows] |= np.take(given_in, idx, axis=0)
+            T5[_RES_out] = acc & ~given_out
+        else:
+            given_in = sol.column("GIVEN_in", timing)
+            given = sol.column("GIVEN", timing)
+            given_out = sol.column("GIVEN_out", timing)
+            res_in = sol.column("RES_in", timing)
+            res_out = sol.column("RES_out", timing)
+            succs_fj = plan.succs_fj
+            for s in range(plan.n):
+                res_in[s] = given[s] & ~given_in[s]
+                acc = 0
+                for t in succs_fj[s]:
+                    acc |= given_in[t]
+                res_out[s] = acc & ~given_out[s]
+        self._row_writes += 2 * plan.n
+        if obs.enabled:
+            obs.event("solver", "sweep", kind="results",
+                      timing=timing.value,
+                      duration_s=obs.clock() - sweep_start)
+            obs.count("sweeps", "results")
+
+    # -- observability -------------------------------------------------------
+
+    def _emit_run_event(self, start, natural, budget, converged, checked):
+        obs = self._obs
+        plan = self.plan
+        n = plan.n
+        preset_bundles = len(self.preset)
+        preset_children = sum(len(plan.children[s]) for s in self.preset)
+        counts = {}
+        for number in range(1, 9):
+            counts[number] = ((n - preset_bundles) * self._full_sweeps
+                              + self._sparse_bundles)
+        for number in (9, 10):
+            counts[number] = ((n - 1 - preset_children) * self._full_sweeps
+                              + self._sparse_children)
+        for number in range(11, 16):
+            counts[number] = n * 2
+        sweeps = self._full_sweeps + self._sparse_rounds
+        obs.event(
+            "solver", "run",
+            direction=self.view.direction,
+            backend="vector",
+            engine=self.engine,
+            nodes=n,
+            consumption_sweeps=sweeps,
+            rounds=sweeps - 1,
+            natural_bound=natural,
+            budget=budget,
+            converged=converged,
+            convergence_checked=checked,
+            full_sweeps=self._full_sweeps,
+            preset_bundles=preset_bundles,
+            sparse_rounds=self._sparse_rounds,
+            sparse_evaluations={"bundles": self._sparse_bundles,
+                                "children": self._sparse_children},
+            equation_evaluations={
+                str(number): count
+                for number, count in sorted(counts.items())
+            },
+            words=self._words,
+            word_ops=self._row_writes * self._words,
+            schedule_levels={"s1": len(self.schedule.s1_levels),
+                             "s3": len(self.schedule.s3_levels)},
+            duration_s=obs.clock() - start,
+        )
+        for number, count in counts.items():
+            obs.count("equation_evaluations", number, n=count)

@@ -37,6 +37,7 @@ class Solution:
     def __init__(self, problem, view):
         self.problem = problem
         self.view = view
+        self._order = None
         self._shared = {name: {} for name in SHARED_VARIABLES}
         self._timed = {
             timing: {name: {} for name in TIMED_VARIABLES} for timing in Timing
@@ -63,10 +64,24 @@ class Solution:
     def nodes_with(self, name, element, timing=None):
         """All nodes whose variable ``name`` contains ``element`` — the
         shape of the paper's §4 example listings (e.g. ``y_b ∈
-        STEAL({2,3})``)."""
+        STEAL({2,3})``).
+
+        Returned in deterministic *view preorder* regardless of the
+        order the solver inserted values (the S1/S2 sweeps insert in
+        REVERSEPREORDER), with nodes outside the view appended in
+        insertion order — the same contract every backend's store
+        honors, so reports render identically."""
         bit = self.problem.universe.bit(element)
         store = self._store(name, timing)
-        return [node for node, bits in store.items() if bits & bit]
+        if self._order is None:
+            self._order = {node: index for index, node
+                           in enumerate(self.view.nodes_preorder())}
+        order = self._order
+        known = len(order)
+        ranked = sorted(
+            (node for node, bits in store.items() if bits & bit),
+            key=lambda node: order.get(node, known))
+        return ranked
 
     def format_node(self, node, timing=None):
         """Multi-line dump of every variable at ``node`` (debugging)."""

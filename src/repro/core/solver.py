@@ -29,6 +29,7 @@ hot path only pays an ``is None`` test per equation.
 
 from repro.core import equations as eq
 from repro.core.kernel.planned import PlannedSolver
+from repro.core.kernel.vector import VectorSolver
 from repro.core.problem import Direction, Timing
 from repro.core.solution import Solution
 from repro.graph.views import cached_view
@@ -37,11 +38,13 @@ from repro.util.errors import SolverBudgetError, SolverError
 
 #: Backend :func:`solve` uses when none is requested.  ``"planned"``
 #: runs the compiled-schedule kernel (``repro.core.kernel``);
-#: ``"reference"`` runs :class:`GiveNTakeSolver`, the differential
-#: oracle.  Both are bit-identical for all fifteen variables.
+#: ``"vector"`` the level-batched bit-matrix kernel (word-parallel with
+#: NumPy, scalar fallback without); ``"reference"`` runs
+#: :class:`GiveNTakeSolver`, the differential oracle.  All three are
+#: bit-identical for all fifteen variables.
 DEFAULT_BACKEND = "planned"
 
-BACKENDS = ("planned", "reference")
+BACKENDS = ("planned", "vector", "reference")
 
 
 class GiveNTakeSolver:
@@ -292,6 +295,8 @@ def solve(ifg, problem, view=None, max_rounds=None, backend=None):
         backend = DEFAULT_BACKEND
     if backend == "planned":
         return PlannedSolver(view, problem, max_rounds=max_rounds).run()
+    if backend == "vector":
+        return VectorSolver(view, problem, max_rounds=max_rounds).run()
     if backend == "reference":
         return GiveNTakeSolver(view, problem, max_rounds=max_rounds).run()
     raise SolverError(f"unknown solver backend {backend!r}")

@@ -29,18 +29,20 @@ parallel warm run is no faster than the serial uncached one, or when a
 full-hit warm cache fails to beat the cold run (i.e. cache hits give no
 speedup).
 
-**Kernel speedup** — the planned solver backend's reason to exist
+**Kernel speedup** — the compiled solver backends' reason to exist
 (``docs/scaling.md``)::
 
     python -m repro.obs.bench --kernel --output BENCH_kernel.json --check
 
-solves each ladder instance in both directions with the reference and
-the planned backend (views prebuilt and plans warmed, so only the solve
-phase is timed; median of repeats) and records the per-instance and
-overall speedups plus a bit-identity verdict against the reference
-solution.  ``--check`` exits nonzero when the planned backend is slower
-than the reference anywhere or when any solution differs by a single
-bit.
+solves each ladder instance in both directions with the reference, the
+planned, and the vector backend (views prebuilt and plans warmed, so
+only the solve phase is timed; median of repeats), plus one wide bulk
+instance where the vector backend's auto engine takes the word-parallel
+matrix path, and records the per-instance and overall speedups plus a
+bit-identity verdict against the reference solution.  ``--check`` exits
+nonzero when a compiled backend is slower than the reference anywhere,
+when the vector backend misses its 5x-over-reference ladder target, or
+when any solution differs by a single bit.
 
 **Service throughput** — the resident compile service's reason to exist
 (``docs/serving.md``)::
@@ -108,7 +110,7 @@ from repro.testing.generator import random_analyzed_program, random_problem
 
 SCHEMA = "repro-bench-solver/1"
 BATCH_SCHEMA = "repro-bench-batch/1"
-KERNEL_SCHEMA = "repro-bench-kernel/1"
+KERNEL_SCHEMA = "repro-bench-kernel/2"
 SERVICE_SCHEMA = "repro-bench-service/1"
 FLEET_SCHEMA = "repro-bench-fleet/1"
 INCR_SCHEMA = "repro-bench-incr/1"
@@ -169,23 +171,73 @@ def solver_scaling(sizes=SIZES, seed=11, n_elements=8, repeats=3):
     }
 
 
-def kernel_scaling(sizes=SIZES, seed=11, n_elements=8, repeats=5):
-    """Planned-vs-reference solve-phase timing; the
-    ``BENCH_kernel.json`` payload.
+#: The wide-row shape: (loops, body) for
+#: :func:`~repro.testing.generator.wide_analyzed_program`, plus the
+#: universe size — big enough that the vector backend's auto engine
+#: takes the matrix path (``AUTO_MATRIX_THRESHOLD``).
+WIDE_SHAPE = (100, 100)
+WIDE_ELEMENTS = 1024
 
-    Per (size, direction): one untimed solve per backend first — it
-    compiles and caches the :class:`~repro.core.kernel.plan.SolverPlan`
-    and the view's order/children memos, the one-time costs the batch
-    layer amortizes — then ``repeats`` timed solves per backend with the
-    view prebuilt, keeping the median.  Every planned solution is
-    checked bit-identical to the reference one over all nodes.
+
+def kernel_scaling(sizes=SIZES, seed=11, n_elements=8, repeats=5):
+    """Three-backend solve-phase timing; the ``BENCH_kernel.json``
+    payload (schema ``repro-bench-kernel/2``).
+
+    Two row families:
+
+    * **ladder rows** — the usual random-program size ladder, per
+      (size, direction): one untimed solve per backend first — it
+      compiles and caches the
+      :class:`~repro.core.kernel.plan.SolverPlan` and the view's
+      order/children memos, the one-time costs the batch layer
+      amortizes — then ``repeats`` timed solves per backend with the
+      view prebuilt, keeping the median.  Every planned *and* vector
+      solution is checked bit-identical to the reference one over all
+      nodes.
+    * **one wide row** — a :func:`~repro.testing.generator
+      .wide_analyzed_program` bulk instance (many independent loop
+      nests, a multi-word universe), the regime where the vector
+      backend's auto engine switches to the word-parallel matrix path.
+
+    The ``--check`` gates assert only measured truths: bit-identity
+    across all three backends, planned ≥ 1x / ≥ 2x-overall the
+    reference solver (the schema-1 gates, unchanged), and the vector
+    backend ≥ 1x reference on every row and ≥ 5x reference overall on
+    the ladder.  The vector backend is *not* gated against planned:
+    planned's ``int``-bitset columns are already word-parallel C
+    operations, and measurement shows the matrix path roughly at parity
+    with it, not ahead (``docs/scaling.md`` has the numbers and the
+    analysis).
     """
     import statistics
 
+    from repro.core.kernel.vector import VectorSolver
     from repro.core.problem import Direction
     from repro.core.reference import solutions_equal
     from repro.graph.views import cached_view
+    from repro.testing.generator import wide_analyzed_program
 
+    def measure(analyzed, problem, view, backends, reps):
+        """Warm + identity-check every backend, then median-time each."""
+        solutions = {
+            backend: solve(analyzed.ifg, problem, view=view, backend=backend)
+            for backend in backends
+        }
+        identical = all(
+            solutions_equal(solutions["reference"], solutions[backend],
+                            analyzed.ifg.nodes())
+            for backend in backends if backend != "reference")
+        medians = {}
+        for backend in backends:
+            times = []
+            for _ in range(reps):
+                start = time.perf_counter()
+                solve(analyzed.ifg, problem, view=view, backend=backend)
+                times.append(time.perf_counter() - start)
+            medians[backend] = statistics.median(times)
+        return identical, medians
+
+    backends = ("reference", "planned", "vector")
     rows = []
     for size in sizes:
         analyzed = random_analyzed_program(seed, size=size, max_depth=3)
@@ -197,50 +249,74 @@ def kernel_scaling(sizes=SIZES, seed=11, n_elements=8, repeats=5):
             view = cached_view(
                 analyzed.ifg,
                 "before" if direction is Direction.BEFORE else "after")
-            # Warmup (also the correctness probe): both backends once,
-            # untimed, and the solutions compared bit for bit.
-            reference = solve(analyzed.ifg, problem, view=view,
-                              backend="reference")
-            planned = solve(analyzed.ifg, problem, view=view,
-                            backend="planned")
-            identical = solutions_equal(reference, planned,
-                                        analyzed.ifg.nodes())
-
-            def timed(backend):
-                times = []
-                for _ in range(repeats):
-                    start = time.perf_counter()
-                    solve(analyzed.ifg, problem, view=view, backend=backend)
-                    times.append(time.perf_counter() - start)
-                return statistics.median(times)
-
-            reference_s = timed("reference")
-            planned_s = timed("planned")
+            identical, medians = measure(analyzed, problem, view,
+                                         backends, repeats)
             rows.append({
                 "size": size,
                 "nodes": nodes,
                 "direction": direction.name,
-                "reference_median_s": reference_s,
-                "planned_median_s": planned_s,
-                "speedup_s": reference_s / planned_s,
+                "reference_median_s": medians["reference"],
+                "planned_median_s": medians["planned"],
+                "vector_median_s": medians["vector"],
+                "speedup_s": medians["reference"] / medians["planned"],
+                "vector_speedup_s":
+                    medians["reference"] / medians["vector"],
+                "vector_engine": VectorSolver(view, problem).engine,
                 "identical": identical,
             })
+
+    # The wide row (reference is slow here, so fewer repeats).
+    loops, body = WIDE_SHAPE
+    analyzed = wide_analyzed_program(seed, loops=loops, body=body)
+    problem = random_problem(analyzed, seed=seed, n_elements=WIDE_ELEMENTS,
+                             direction=Direction.BEFORE)
+    view = cached_view(analyzed.ifg, "before")
+    wide_identical, wide_medians = measure(analyzed, problem, view, backends,
+                                           max(1, repeats // 2))
+    wide = {
+        "loops": loops,
+        "body": body,
+        "n_elements": WIDE_ELEMENTS,
+        "nodes": len(analyzed.ifg.real_nodes()),
+        "reference_median_s": wide_medians["reference"],
+        "planned_median_s": wide_medians["planned"],
+        "vector_median_s": wide_medians["vector"],
+        "speedup_s": wide_medians["reference"] / wide_medians["planned"],
+        "vector_speedup_s":
+            wide_medians["reference"] / wide_medians["vector"],
+        "vector_vs_planned_s":
+            wide_medians["planned"] / wide_medians["vector"],
+        "vector_engine": VectorSolver(view, problem).engine,
+        "identical": wide_identical,
+    }
+
     speedups = [row["speedup_s"] for row in rows]
+    vector_speedups = [row["vector_speedup_s"] for row in rows]
     overall = (sum(row["reference_median_s"] for row in rows)
                / sum(row["planned_median_s"] for row in rows))
+    vector_overall = (sum(row["reference_median_s"] for row in rows)
+                      / sum(row["vector_median_s"] for row in rows))
     return {
         "schema": KERNEL_SCHEMA,
         "seed": seed,
         "n_elements": n_elements,
         "repeats": repeats,
         "rows": rows,
+        "wide": wide,
         "overall_speedup_s": overall,
         "min_speedup_s": min(speedups),
-        "all_identical": all(row["identical"] for row in rows),
-        # the two --check gates: never slower than the oracle, never a
+        "overall_vector_speedup_s": vector_overall,
+        "min_vector_speedup_s": min(vector_speedups),
+        "all_identical": (wide["identical"]
+                          and all(row["identical"] for row in rows)),
+        # the --check gates: never slower than the oracle, never a
         # single bit away from it
         "planned_beats_reference": all(s >= 1.0 for s in speedups),
         "meets_2x_target": overall >= 2.0,
+        "vector_beats_reference": (wide["vector_speedup_s"] >= 1.0
+                                   and all(s >= 1.0
+                                           for s in vector_speedups)),
+        "vector_meets_5x_target": vector_overall >= 5.0,
     }
 
 
@@ -870,15 +946,32 @@ def _main_kernel(args):
         print(f"size={row['size']} direction={row['direction']} "
               f"reference={row['reference_median_s'] * 1e3:.2f}ms "
               f"planned={row['planned_median_s'] * 1e3:.2f}ms "
+              f"vector={row['vector_median_s'] * 1e3:.2f}ms"
+              f"[{row['vector_engine']}] "
               f"speedup={row['speedup_s']:.2f}x "
+              f"vector_speedup={row['vector_speedup_s']:.2f}x "
               f"identical={row['identical']}")
+    wide = report["wide"]
+    print(f"wide ({wide['loops']}x{wide['body']}, {wide['n_elements']} el, "
+          f"{wide['nodes']} nodes) "
+          f"reference={wide['reference_median_s'] * 1e3:.1f}ms "
+          f"planned={wide['planned_median_s'] * 1e3:.1f}ms "
+          f"vector={wide['vector_median_s'] * 1e3:.1f}ms"
+          f"[{wide['vector_engine']}] "
+          f"vector_speedup={wide['vector_speedup_s']:.2f}x "
+          f"identical={wide['identical']}")
     print(f"wrote {output} "
-          f"(overall speedup {report['overall_speedup_s']:.2f}x, "
-          f"2x target met: {report['meets_2x_target']})")
+          f"(planned overall {report['overall_speedup_s']:.2f}x, "
+          f"2x target met: {report['meets_2x_target']}; "
+          f"vector overall {report['overall_vector_speedup_s']:.2f}x, "
+          f"5x target met: {report['vector_meets_5x_target']})")
     if args.check and not (report["all_identical"]
-                           and report["planned_beats_reference"]):
-        print("error: planned kernel regressed (slower than the "
-              "reference solver, or not bit-identical to it)",
+                           and report["planned_beats_reference"]
+                           and report["vector_beats_reference"]
+                           and report["vector_meets_5x_target"]):
+        print("error: kernel regressed (a compiled backend slower than "
+              "the reference solver, vector below its 5x ladder target, "
+              "or a solution not bit-identical to the oracle)",
               file=sys.stderr)
         return 1
     return 0

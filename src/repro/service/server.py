@@ -286,8 +286,17 @@ class CompileService:
 
     def _retry_after(self):
         """Backpressure hint: roughly one median request per queued unit
-        per worker, clamped to sane bounds."""
-        median = self.metrics.latency["total_s"].percentile(0.5) or 0.05
+        per worker, clamped to sane bounds.
+
+        The 0.05 s fallback applies only while the histogram is *empty*
+        (no request has completed yet, so there is nothing to estimate
+        from).  A recorded median of zero is a legitimate measurement —
+        sub-resolution-fast requests — and must not be confused with
+        "no data", or a fast service would tell clients to back off
+        five times longer than its real service time."""
+        histogram = self.metrics.latency["total_s"]
+        median = (0.05 if histogram.count == 0
+                  else histogram.percentile(0.5))
         estimate = median * max(1, self.metrics.queue_depth) / self.workers
         return round(min(self.config.max_retry_after_s,
                          max(0.01, estimate)), 4)

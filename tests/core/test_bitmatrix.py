@@ -1,0 +1,105 @@
+"""BitMatrix storage: int ↔ uint64-word round-trips, exactly.
+
+The vector backend's whole correctness story rests on
+``repro.core.kernel.bitmatrix`` converting between Python ``int``
+bitsets and little-endian word rows without losing a bit — most easily
+broken right at word boundaries, so the suite pins universes of 63, 64
+and 65 elements (and a couple of multi-word widths) on both sides of
+every conversion, plus the :class:`NumpyColumn` sequence-protocol view
+the rest of the codebase consumes.
+"""
+
+import random
+
+import pytest
+
+from repro.core.kernel import bitmatrix
+from repro.core.kernel.bitmatrix import (NumpyColumn, WORD_BITS, pack_column,
+                                         pack_int, unpack_column, unpack_row,
+                                         words_for)
+
+np = bitmatrix.numpy()
+needs_numpy = pytest.mark.skipif(np is None, reason="NumPy unavailable")
+
+#: The word-boundary universes the ISSUE calls out, plus multi-word.
+BOUNDARY_BITS = (1, 63, 64, 65, 127, 128, 130)
+
+
+def sample_bitsets(n_bits, count=32, seed=7):
+    rng = random.Random(seed)
+    edge = [0, 1, (1 << n_bits) - 1, 1 << (n_bits - 1)]
+    return edge + [rng.getrandbits(n_bits) for _ in range(count)]
+
+
+@pytest.mark.parametrize("n_bits", BOUNDARY_BITS)
+def test_words_for_covers_every_bit(n_bits):
+    words = words_for(n_bits)
+    assert words * WORD_BITS >= n_bits
+    assert (words - 1) * WORD_BITS < n_bits
+
+
+def test_words_for_empty_universe_is_one_word():
+    assert words_for(0) == 1
+
+
+@pytest.mark.parametrize("n_bits", BOUNDARY_BITS)
+def test_pack_int_is_little_endian_and_sized(n_bits):
+    words = words_for(n_bits)
+    raw = pack_int((1 << n_bits) - 1, words)
+    assert len(raw) == words * 8
+    assert int.from_bytes(raw, "little") == (1 << n_bits) - 1
+
+
+@needs_numpy
+@pytest.mark.parametrize("n_bits", BOUNDARY_BITS)
+def test_row_round_trip(n_bits):
+    words = words_for(n_bits)
+    for bits in sample_bitsets(n_bits):
+        row = np.frombuffer(pack_int(bits, words), dtype=np.uint64)
+        assert unpack_row(row) == bits
+
+
+@needs_numpy
+@pytest.mark.parametrize("n_bits", BOUNDARY_BITS)
+def test_column_round_trip(n_bits):
+    words = words_for(n_bits)
+    values = sample_bitsets(n_bits)
+    matrix = pack_column(values, words)
+    assert matrix.shape == (len(values), words)
+    assert matrix.dtype == np.uint64
+    assert unpack_column(matrix) == values
+
+
+@needs_numpy
+def test_numpy_column_view_reads_and_writes():
+    n_bits = 65
+    words = words_for(n_bits)
+    values = sample_bitsets(n_bits)
+    column = NumpyColumn(pack_column(values, words))
+
+    assert len(column) == len(values)
+    assert list(column) == values
+    assert column[3] == values[3]
+    assert column[1:4] == values[1:4]
+    assert column == values  # sequence equality against a plain list
+
+    column[2] = 0b101 << 62  # straddles the first word boundary
+    assert column[2] == 0b101 << 62
+    replacement = sample_bitsets(n_bits, seed=11)
+    column[:] = replacement
+    assert list(column) == replacement
+
+
+@needs_numpy
+def test_numpy_column_writes_land_in_the_backing_matrix():
+    words = words_for(64)
+    matrix = pack_column([0, 0], words)
+    column = NumpyColumn(matrix)
+    column[1] = (1 << 64) - 1
+    assert int(matrix[1, 0]) == (1 << 64) - 1
+    assert int(matrix[0, 0]) == 0
+
+
+def test_numpy_accessor_honors_monkeypatched_absence(monkeypatch):
+    monkeypatch.setattr(bitmatrix, "_np", None)
+    assert bitmatrix.numpy() is None

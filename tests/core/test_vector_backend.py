@@ -1,0 +1,176 @@
+"""Vector backend specifics: engines, budgets, memo, observability.
+
+Bit-identity against the reference solver is swept by
+``test_kernel_equivalence.py``; this file pins what is unique to the
+vector backend — engine auto-selection and forcing, the pure-int
+fallback when NumPy is hidden, preset/budget error parity with the
+planned kernel, the memoized replay path, and the ``solver/run`` event
+extensions (engine, word counts, schedule depth).
+"""
+
+import pytest
+
+from repro.batch.cache import PipelineCache
+from repro.core.kernel import bitmatrix
+from repro.core.kernel.incremental import IncrementalSolveMemo
+from repro.core.kernel.planned import PlannedSolver
+from repro.core.kernel.vector import (AUTO_MATRIX_THRESHOLD, VectorSolver,
+                                      schedule_for)
+from repro.core.problem import Direction, Problem
+from repro.core.reference import differences, solutions_equal
+from repro.core.solver import make_view, solve
+from repro.obs.collector import tracing
+from repro.obs.profile import run_satisfies_each_equation_once
+from repro.testing.generator import random_analyzed_program, random_problem
+from repro.testing.graphs import loop_with_jump
+from repro.util.errors import SolverError
+
+np = bitmatrix.numpy()
+needs_numpy = pytest.mark.skipif(np is None, reason="NumPy unavailable")
+
+
+def jumpy_instance(seed=4, n_elements=8):
+    analyzed = random_analyzed_program(seed, size=16, goto_probability=0.6)
+    problem = random_problem(analyzed, seed=seed, n_elements=n_elements,
+                             direction=Direction.AFTER)
+    view = make_view(analyzed.ifg, Direction.AFTER)
+    return analyzed, problem, view
+
+
+# -- engine selection ---------------------------------------------------------
+
+def test_auto_engine_takes_scalar_path_on_small_instances():
+    _, problem, view = jumpy_instance()
+    solver = VectorSolver(view, problem)
+    assert solver.engine == "int"  # tiny slot*words, NumPy or not
+
+
+@needs_numpy
+def test_auto_engine_takes_matrix_path_on_bulk_instances():
+    from repro.testing.generator import wide_analyzed_program
+
+    analyzed = wide_analyzed_program(0, loops=30, body=30)
+    problem = random_problem(analyzed, seed=0, n_elements=4096,
+                             direction=Direction.BEFORE)
+    view = make_view(analyzed.ifg, Direction.BEFORE)
+    solver = VectorSolver(view, problem)
+    assert solver.plan.n * solver.solution.words >= AUTO_MATRIX_THRESHOLD
+    assert solver.engine == "numpy"
+    solution = solver.run()
+    reference = solve(analyzed.ifg, problem, view=view, backend="reference")
+    nodes = view.nodes_preorder()
+    assert solutions_equal(solution, reference, nodes), differences(
+        solution, reference, nodes)[:10]
+
+
+def test_unknown_engine_raises():
+    _, problem, view = jumpy_instance()
+    with pytest.raises(SolverError, match="unknown vector engine"):
+        VectorSolver(view, problem, engine="simd")
+
+
+def test_forced_numpy_engine_without_numpy_raises(monkeypatch):
+    monkeypatch.setattr(bitmatrix, "_np", None)
+    _, problem, view = jumpy_instance()
+    with pytest.raises(SolverError, match="NumPy is unavailable"):
+        VectorSolver(view, problem, engine="numpy")
+
+
+def test_fallback_path_with_numpy_hidden_is_bit_identical(monkeypatch):
+    analyzed, problem, view = jumpy_instance()
+    reference = solve(analyzed.ifg, problem, view=view, backend="reference")
+    monkeypatch.setattr(bitmatrix, "_np", None)
+    solver = VectorSolver(view, problem)
+    assert solver.engine == "int"
+    solution = solver.run()
+    assert solution.engine == "list"
+    nodes = view.nodes_preorder()
+    assert solutions_equal(solution, reference, nodes), differences(
+        solution, reference, nodes)[:10]
+
+
+@needs_numpy
+def test_forced_engines_agree_with_each_other():
+    analyzed, problem, view = jumpy_instance(seed=9, n_elements=130)
+    nodes = view.nodes_preorder()
+    scalar = VectorSolver(view, problem, engine="int").run()
+    matrix = VectorSolver(view, problem, engine="numpy").run()
+    reference = solve(analyzed.ifg, problem, view=view, backend="reference")
+    for solution in (scalar, matrix):
+        assert solutions_equal(solution, reference, nodes), differences(
+            solution, reference, nodes)[:10]
+
+
+# -- error parity with the planned kernel -------------------------------------
+
+def test_preset_on_iterating_plan_matches_planned_error():
+    sketch = loop_with_jump()
+    problem = Problem(direction=Direction.AFTER)
+    problem.add_take(sketch["work"], "a")
+    view = make_view(sketch.ifg, Direction.AFTER)
+    assert view.requires_consumption_iteration
+    preset = {0: tuple([0] * 10)}
+    with pytest.raises(SolverError) as planned_error:
+        PlannedSolver(view, problem, preset=preset)
+    with pytest.raises(SolverError) as vector_error:
+        VectorSolver(view, problem, preset=preset)
+    assert str(vector_error.value) == str(planned_error.value)
+
+
+# -- memoized replay ----------------------------------------------------------
+
+def test_memo_applies_to_vector_backend():
+    assert IncrementalSolveMemo.applies("vector")
+    assert IncrementalSolveMemo.applies("planned")
+    assert not IncrementalSolveMemo.applies("reference")
+
+
+@pytest.mark.parametrize("engine_hidden", [False, True])
+def test_memo_round_trips_vector_solves(monkeypatch, engine_hidden):
+    if engine_hidden:
+        monkeypatch.setattr(bitmatrix, "_np", None)
+    analyzed, problem, view = jumpy_instance(seed=12)
+    reference = solve(analyzed.ifg, problem, view=view, backend="reference")
+    memo = IncrementalSolveMemo(PipelineCache())
+    first = memo.solve(analyzed.ifg, problem, view=view, backend="vector")
+    second = memo.solve(analyzed.ifg, problem, view=view, backend="vector")
+    assert memo.stats["whole_misses"] == 1
+    assert memo.stats["whole_hits"] == 1
+    nodes = view.nodes_preorder()
+    for solution in (first, second):
+        assert solutions_equal(solution, reference, nodes), differences(
+            solution, reference, nodes)[:10]
+
+
+# -- observability ------------------------------------------------------------
+
+def test_run_event_reports_engine_and_word_ops():
+    analyzed, problem, view = jumpy_instance()
+    with tracing() as collector:
+        solve(analyzed.ifg, problem, view=view, backend="vector")
+    run = collector.events("solver", "run")[-1]
+    assert run["backend"] == "vector"
+    assert run["engine"] in ("numpy", "int")
+    assert run["words"] >= 1
+    assert run["word_ops"] >= 0
+    assert run["schedule_levels"]["s1"] >= 1
+    assert run["schedule_levels"]["s3"] >= 1
+    assert run_satisfies_each_equation_once(run)
+
+
+@needs_numpy
+def test_matrix_engine_counts_word_ops():
+    analyzed, problem, view = jumpy_instance(seed=9, n_elements=130)
+    with tracing() as collector:
+        VectorSolver(view, problem, engine="numpy").run()
+    run = collector.events("solver", "run")[-1]
+    assert run["engine"] == "numpy"
+    assert run["words"] == 3  # 130 elements -> three 64-bit words
+    assert run["word_ops"] > 0
+    assert run_satisfies_each_equation_once(run)
+
+
+def test_schedule_is_cached_per_plan():
+    _, problem, view = jumpy_instance()
+    solver = VectorSolver(view, problem)
+    assert schedule_for(solver.plan) is solver.schedule

@@ -378,3 +378,47 @@ def test_blank_lines_are_ignored(client):
     connection._file.write(b"\n")
     connection._file.flush()
     assert connection.ping()["ok"]  # server skipped the blank line
+
+
+# -- backpressure hints -------------------------------------------------------
+
+def _bare_service(**overrides):
+    """A CompileService that never binds a socket — enough state for the
+    pure backpressure-arithmetic paths."""
+    from repro.service.server import CompileService
+
+    config = ServiceConfig(port=0, workers=1, pool="thread", **overrides)
+    return CompileService(config)
+
+
+def test_retry_after_with_empty_histogram_uses_the_startup_guess():
+    service = _bare_service()
+    assert service.metrics.latency["total_s"].count == 0
+    # No completed request yet: the 0.05 s prior, one queued unit.
+    assert service._retry_after() == pytest.approx(0.05)
+
+
+def test_retry_after_with_zero_median_is_not_treated_as_no_data():
+    """A recorded median of zero means the service is *fast*, not
+    unmeasured — the hint must clamp to the 0.01 s floor instead of
+    falling back to the 5x-larger startup guess."""
+    service = _bare_service()
+    for _ in range(8):
+        service.metrics.latency["total_s"].record(0.0)
+    assert service.metrics.latency["total_s"].percentile(0.5) == 0.0
+    assert service._retry_after() == pytest.approx(0.01)
+
+
+def test_retry_after_scales_with_queue_depth_and_median():
+    service = _bare_service()
+    for _ in range(9):
+        service.metrics.latency["total_s"].record(0.2)
+    service.metrics.admit(3)
+    try:
+        median = service.metrics.latency["total_s"].percentile(0.5)
+        assert median > 0.0
+        expected = round(min(service.config.max_retry_after_s,
+                             max(0.01, median * 3 / service.workers)), 4)
+        assert service._retry_after() == pytest.approx(expected)
+    finally:
+        service.metrics.release(3)
