@@ -29,6 +29,13 @@ Validation and measurement::
 
     from repro import check_placement          # C1/C2/C3/O1 path replay
     from repro import simulate, MachineModel   # message/latency simulator
+
+Overlap scheduling (EAGER/LAZY slack turned into makespan wins)::
+
+    from repro import build_task_graph, overlap_schedule, compare_schedules
+    comparison = compare_schedules(result.annotated_program,
+                                   MachineModel(latency=400.0), {"n": 64})
+    print(comparison.summary())                # docs/scheduling.md
 """
 
 from repro.core import (
@@ -98,6 +105,17 @@ from repro.obs import (
     stable_form,
     tracing,
 )
+from repro.sched import (
+    Schedule,
+    ScheduleRunner,
+    TaskGraph,
+    build_task_graph,
+    certify_schedule,
+    compare_schedules,
+    naive_schedule,
+    overlap_schedule,
+    run_schedule,
+)
 
 __version__ = "1.0.0"
 
@@ -155,5 +173,14 @@ __all__ = [
     "profile_source",
     "stable_form",
     "tracing",
+    "Schedule",
+    "ScheduleRunner",
+    "TaskGraph",
+    "build_task_graph",
+    "certify_schedule",
+    "compare_schedules",
+    "naive_schedule",
+    "overlap_schedule",
+    "run_schedule",
     "__version__",
 ]

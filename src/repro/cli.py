@@ -146,6 +146,12 @@ def build_parser():
                      help="retransmissions before a lost message is fatal")
     sim.add_argument("--timeout", type=float, default=400.0,
                      help="initial retransmit timeout (doubles per retry)")
+    sim.add_argument("--schedule", choices=["naive", "overlap"],
+                     default="naive",
+                     help="run the statement order as annotated (naive) "
+                          "or the latency-hiding overlap schedule, "
+                          "differentially checked against it "
+                          "(docs/scheduling.md)")
     add_trace_arguments(sim)
 
     profile = commands.add_parser(
@@ -331,12 +337,12 @@ def read_source(path):
 
 def traced(args, out, body):
     """Run ``body`` under tracing when ``--trace``/``--trace-json`` ask
-    for it, then emit the requested rendering after the normal output."""
+    for it, then emit the requested rendering after the normal output.
+    Returns ``body``'s result (a command exit status or ``None``)."""
     if not (args.trace or args.trace_json):
-        body()
-        return
+        return body()
     with tracing() as collector:
-        body()
+        status = body()
     payload = build_profile(collector)
     if args.trace:
         out.write(format_profile(payload))
@@ -346,6 +352,7 @@ def traced(args, out, body):
         else:
             with open(args.trace_json, "w") as handle:
                 handle.write(to_json(payload))
+    return status
 
 
 def command_annotate(args, out):
@@ -411,6 +418,22 @@ def _simulate(args, out):
     except ValueError as exc:
         raise FaultSpecError(str(exc)) from exc
     machine = MachineModel(latency=args.latency, message_overhead=args.overhead)
+    if args.schedule == "overlap":
+        from repro.sched import compare_schedules
+
+        comparison = compare_schedules(
+            result.annotated_program, machine, {"n": args.n},
+            branch=args.branch, faults=faults, retry=retry)
+        if report is not None:
+            out.write(report.summary() + "\n")
+        out.write("naive:   " + comparison.naive.summary() + "\n")
+        out.write("overlap: " + comparison.overlap.summary() + "\n")
+        out.write(comparison.summary() + "\n")
+        if not comparison.states_match or not comparison.certified:
+            for violation in comparison.certification.violations:
+                out.write(f"  {violation.criterion} {violation.message}\n")
+            return 1
+        return 0
     metrics = simulate(result.annotated_program, machine, {"n": args.n},
                        ConditionPolicy(args.branch), faults=faults,
                        retry=retry)

@@ -76,7 +76,8 @@ class Annotator:
                            else [descriptors])
                 for batch in batches:
                     self._place(production.node, production.position, kind,
-                                phase, batch, reduce=reduce_name)
+                                phase, batch, reduce=reduce_name,
+                                timing=production.timing.name)
 
     def apply_timing(self, placement, kind, timing, one_per_section=False):
         """Insert only one timing's productions, as phase-less statements.
@@ -92,14 +93,15 @@ class Annotator:
                        else [descriptors])
             for batch in batches:
                 self._place(production.node, production.position, kind,
-                            None, batch)
+                            None, batch, timing=production.timing.name)
 
     # -- placement dispatch ---------------------------------------------------
 
-    def _place(self, node, position, kind, phase, descriptors, reduce=None):
+    def _place(self, node, position, kind, phase, descriptors, reduce=None,
+               timing=None):
         local_vars = self._local_vars(node)
         args = [d.format(local_vars=local_vars) for d in descriptors]
-        comm = ast.Comm(kind, phase, args, reduce=reduce)
+        comm = ast.Comm(kind, phase, args, reduce=reduce, timing=timing)
         self._dispatch(node, position, comm,
                        synthetic=lambda: self._place_synthetic(
                            node, kind, phase, descriptors, comm, reduce))
@@ -162,7 +164,8 @@ class Annotator:
                       if self.ifg.edge_type(p, node) is EdgeType.JUMP]
         if jump_preds:
             self._place_on_landing_pad(node, jump_preds[0], kind, phase,
-                                       descriptors, reduce)
+                                       descriptors, reduce,
+                                       timing=comm.timing)
             return
         if len(preds) == 1 and isinstance(_stmt_of(preds[0]), ast.If):
             self._place_on_branch_edge(preds[0], comm)
@@ -185,7 +188,7 @@ class Annotator:
     # -- specific strategies -----------------------------------------------------
 
     def _place_on_landing_pad(self, node, jump_source, kind, phase,
-                              descriptors, reduce=None):
+                              descriptors, reduce=None, timing=None):
         """Wrap the jump in a block holding the communication.
 
         Section ranges over the loops being exited are narrowed to the
@@ -197,7 +200,7 @@ class Annotator:
                 if isinstance(stmt, ast.Do):
                     partial_vars.add(stmt.var)
         args = [d.format(partial_vars=frozenset(partial_vars)) for d in descriptors]
-        comm = ast.Comm(kind, phase, args, reduce=reduce)
+        comm = ast.Comm(kind, phase, args, reduce=reduce, timing=timing)
 
         source_stmt = _stmt_of(jump_source)
         if isinstance(source_stmt, ast.IfGoto):

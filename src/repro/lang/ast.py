@@ -176,13 +176,17 @@ class Comm(Stmt):
     ``"recv"`` or ``None`` for an atomic operation; ``args`` is a list of
     printable section descriptors (see :mod:`repro.analysis.sections`);
     ``reduce`` optionally names a reduction operation combined with a
-    WRITE (e.g. ``"sum"`` — the owner accumulates rather than overwrites).
+    WRITE (e.g. ``"sum"`` — the owner accumulates rather than overwrites);
+    ``timing`` records which of the paper's two solutions placed this
+    statement (``"EAGER"`` or ``"LAZY"``), so downstream consumers like
+    the overlap scheduler know each statement's legal-window endpoint.
     """
 
     kind: str
     phase: str
     args: list
     reduce: str = None
+    timing: str = None
 
 
 @dataclass

@@ -19,7 +19,10 @@ waiting time are reported in :class:`ExecutionMetrics` (see
 ``docs/robustness.md``).
 """
 
+import hashlib
+import json
 import random
+from collections import Counter
 
 from repro.lang import ast
 from repro.lang.parser import parse as parse_program
@@ -74,6 +77,10 @@ class Simulator:
         self._outstanding = []  # (kind, arrays, ready_time, volume)
         self._obs = current_collector()
         self._message_sequence = 0
+        #: (kind, canonical section) pairs delivered to this node, in
+        #: completion order — the observable machine state alongside
+        #: ``env`` (see :meth:`machine_state`)
+        self.delivered = []
         self._load_parameters()
 
     def _load_parameters(self):
@@ -89,7 +96,16 @@ class Simulator:
             self._execute_body(self.program.executables())
         except _Jump as jump:
             raise AnalysisError(f"goto to unknown label {jump.label}") from None
+        self._finish_run()
         return self.metrics
+
+    def _finish_run(self):
+        """Emit the end-of-run occupancy event (shared with the
+        schedule runner, whose ``run`` drives tasks, not the AST)."""
+        if self._obs.enabled:
+            self._obs.event("machine", "run", clock=self.clock,
+                            makespan=self.metrics.total_time,
+                            **self.metrics.occupancy())
 
     def _execute_body(self, body):
         index = 0
@@ -175,7 +191,9 @@ class Simulator:
     def _issue(self, kind, args):
         """One message carrying all of ``args``; each section becomes an
         outstanding entry so receives can wait on any subset."""
-        volume = sum(self._descriptor_size(arg) for arg in args)
+        sections = [(arg, self._descriptor_size(arg),
+                     self.canonical_argument(arg)) for arg in args]
+        volume = sum(size for _, size, _ in sections)
         overhead = self.machine.message_overhead
         self.clock += overhead
         self.metrics.overhead_time += overhead
@@ -191,10 +209,11 @@ class Simulator:
                             sections=len(args))
             self._obs.count("machine", "send")
         self._transmit(message)
-        for arg in args:
+        for arg, _, canonical in sections:
             self._outstanding.append({
                 "kind": kind,
                 "arg": arg,
+                "canonical": canonical,
                 "array": arg.split("(", 1)[0],
                 "message": message,
             })
@@ -223,6 +242,7 @@ class Simulator:
                 self.metrics.duplicated_messages += 1
         message.update(issued_at=self.clock, transfer=transfer,
                        ready=self.clock + transfer, dropped=dropped)
+        self.metrics.record_transfer(self.clock, message["ready"])
         obs = self._obs
         if obs.enabled:
             obs.event("machine", "transmit", message=message["id"],
@@ -286,6 +306,7 @@ class Simulator:
             if entry is not None:
                 self._outstanding.remove(entry)
                 matched.append(entry)
+                self.delivered.append((kind, entry["canonical"]))
         if not matched:
             raise AnalysisError(
                 f"receive of {kind} {sorted(args)} without an outstanding send"
@@ -307,16 +328,25 @@ class Simulator:
                     self._obs.count("machine", "recv")
 
     def _find_entry(self, kind, arg):
+        """The outstanding entry a receive of ``arg`` pairs with.
+
+        Three deterministic tiers: (1) exact rendered-text match;
+        (2) same concrete section under the current environment, so
+        ``x(1:n)`` at ``n=64`` pairs with ``x(1:64)`` rather than with
+        whichever partial section of ``x`` was sent first; (3) the
+        first-inserted entry of the same array (partial sections like
+        ``y(a(1:i))`` pair with their full-range counterpart)."""
         array = arg.split("(", 1)[0]
-        fallback = None
-        for entry in self._outstanding:
-            if entry["kind"] != kind:
-                continue
+        candidates = [entry for entry in self._outstanding
+                      if entry["kind"] == kind and entry["array"] == array]
+        for entry in candidates:
             if entry["arg"] == arg:
                 return entry
-            if fallback is None and entry["array"] == array:
-                fallback = entry
-        return fallback
+        canonical = self.canonical_argument(arg)
+        for entry in candidates:
+            if entry["canonical"] == canonical:
+                return entry
+        return candidates[0] if candidates else None
 
     # -- expressions -----------------------------------------------------------
 
@@ -367,6 +397,83 @@ class Simulator:
             hi = self._eval(rng.hi)
             total *= max(0, hi - lo + 1)
         return total
+
+    def canonical_argument(self, arg):
+        """``arg`` with every subscript evaluated under the current
+        environment: ``x(11:n + 10)`` at ``n=32`` becomes ``x(11:42)``.
+        Unevaluable descriptors are returned unchanged."""
+        try:
+            expr = _parse_argument(arg)
+            return self._canonical_expr(expr)
+        except Exception:
+            return arg
+
+    def _canonical_expr(self, expr):
+        if isinstance(expr, ast.RangeExpr):
+            return f"{self._eval(expr.lo)}:{self._eval(expr.hi)}"
+        if isinstance(expr, ast.ArrayRef):
+            inner = ", ".join(self._canonical_expr(s) for s in expr.subscripts)
+            return f"{expr.name}({inner})"
+        return str(self._eval(expr))
+
+    # -- observable state ------------------------------------------------------
+
+    def machine_state(self):
+        """The observable machine state after a run, in a canonical
+        JSON-able form: the final environment plus the multiset of
+        delivered elements per (kind, array) and any still-outstanding
+        sections.  Two runs of the same program — however their
+        communication was scheduled, coalesced, or split — must agree
+        on this."""
+        delivered = {}
+        for kind, canonical in self.delivered:
+            array, elements = argument_elements(canonical)
+            bucket = delivered.setdefault(f"{kind} {array}", Counter())
+            bucket.update(elements)
+        outstanding = Counter()
+        for entry in self._outstanding:
+            array, elements = argument_elements(entry["canonical"])
+            outstanding.update((f"{entry['kind']} {array}", element)
+                               for element in elements)
+        return {
+            "env": {name: self.env[name] for name in sorted(self.env)},
+            "delivered": {
+                key: sorted(bucket.items())
+                for key, bucket in sorted(delivered.items())
+            },
+            "outstanding": sorted(outstanding.items()),
+        }
+
+    def state_digest(self):
+        """Stable hash of :meth:`machine_state` for quick comparison."""
+        payload = json.dumps(self.machine_state(), sort_keys=True,
+                             default=str)
+        return hashlib.sha256(payload.encode()).hexdigest()
+
+
+def argument_elements(canonical):
+    """The concrete element keys a canonical section descriptor
+    delivers: ``(array, keys)``.  A one-dimensional numeric range
+    explodes into its indices so that split chunks and their coalesced
+    union compare equal; points become index tuples; anything else
+    (indirect sections, multi-dimensional ranges) stays one opaque
+    token — transformations never restructure those."""
+    array = canonical.split("(", 1)[0].strip()
+    try:
+        expr = _parse_argument(canonical)
+    except Exception:
+        return array, (canonical,)
+    if not isinstance(expr, ast.ArrayRef):
+        return array, (canonical,)
+    subscripts = expr.subscripts
+    if (len(subscripts) == 1 and isinstance(subscripts[0], ast.RangeExpr)
+            and isinstance(subscripts[0].lo, ast.Num)
+            and isinstance(subscripts[0].hi, ast.Num)):
+        lo, hi = subscripts[0].lo.value, subscripts[0].hi.value
+        return array, tuple(str(i) for i in range(lo, hi + 1))
+    if all(isinstance(s, ast.Num) for s in subscripts):
+        return array, (",".join(str(s.value) for s in subscripts),)
+    return array, (canonical,)
 
 
 def _parse_argument(text):

@@ -27,6 +27,13 @@ class ExecutionMetrics:
     * ``dropped_messages`` / ``duplicated_messages`` / ``crashes`` —
       injected fault counts;
     * ``fault_delay`` — total jitter added to transfer times.
+
+    Channel occupancy: every wire attempt records its ``(start, end)``
+    interval in ``transfers``, from which :attr:`wire_busy_time` (union
+    of intervals — the wall-clock span the channel carried at least one
+    message), :attr:`wire_idle_time`, :attr:`peak_in_flight`, and
+    :attr:`overlap_ratio` (the fraction of transfer time hidden behind
+    computation) derive.
     """
 
     messages: int = 0
@@ -45,12 +52,74 @@ class ExecutionMetrics:
     #: messages per communication kind ("read", "write", "prefetch", …)
     messages_by_kind: dict = field(default_factory=dict)
     volume_by_kind: dict = field(default_factory=dict)
+    #: wire attempts as (start, end) clock intervals (retransmissions
+    #: and dropped attempts included — they occupied the channel too)
+    transfers: list = field(default_factory=list)
 
     def record_message(self, kind, volume):
         self.messages += 1
         self.volume += volume
         self.messages_by_kind[kind] = self.messages_by_kind.get(kind, 0) + 1
         self.volume_by_kind[kind] = self.volume_by_kind.get(kind, 0.0) + volume
+
+    def record_transfer(self, start, end):
+        self.transfers.append((start, end))
+
+    @property
+    def wire_time(self):
+        """Total transfer time summed over attempts (overlaps counted
+        once per message)."""
+        return sum(end - start for start, end in self.transfers)
+
+    @property
+    def wire_busy_time(self):
+        """Wall-clock time the channel carried at least one message
+        (union of the transfer intervals)."""
+        busy = 0.0
+        edge = None
+        for start, end in sorted(self.transfers):
+            if edge is None or start > edge:
+                busy += end - start
+                edge = end
+            elif end > edge:
+                busy += end - edge
+                edge = end
+        return busy
+
+    @property
+    def peak_in_flight(self):
+        """Maximum number of simultaneously in-flight messages."""
+        events = sorted((t, delta) for start, end in self.transfers
+                        for t, delta in ((start, 1), (end, -1)))
+        peak = level = 0
+        for _, delta in events:
+            level += delta
+            peak = max(peak, level)
+        return peak
+
+    @property
+    def wire_idle_time(self):
+        """Makespan minus wire-busy time (never negative)."""
+        return max(0.0, self.total_time - self.wire_busy_time)
+
+    @property
+    def overlap_ratio(self):
+        """Fraction of transfer latency hidden behind computation."""
+        total = self.hidden_latency + self.exposed_latency
+        if total <= 0:
+            return 0.0
+        return self.hidden_latency / total
+
+    def occupancy(self):
+        """Channel-occupancy accounting as a flat dict (what ``repro
+        profile`` and the ``machine/run`` obs event surface)."""
+        return {
+            "wire_time": self.wire_time,
+            "wire_busy_time": self.wire_busy_time,
+            "wire_idle_time": self.wire_idle_time,
+            "peak_in_flight": self.peak_in_flight,
+            "overlap_ratio": self.overlap_ratio,
+        }
 
     @property
     def total_time(self):

@@ -93,6 +93,25 @@ from its cold compile, when the edit sequences produced no
 untouched-interval cache hits, or when warm 1-statement deltas are not
 at least 3x faster than cold compiles.
 
+**Overlap scheduling** — the ``repro.sched`` scheduler's reason to
+exist (``docs/scheduling.md``)::
+
+    python -m repro.obs.bench --overlap --output BENCH_overlap.json --check
+
+runs every :data:`~repro.sched.scenarios.SCENARIOS` row — each a
+program whose EAGER/LAZY slack the scheduler can (or, for the control
+rows, cannot) exploit — under its clean run and each of its seeded
+fault variants, comparing the naive trace-order schedule against the
+transformed overlap schedule in the same simulator.  Every row records
+both makespans (simulated clock units — deterministic, no ``_s``
+suffix), the hidden/exposed latency split, wire occupancy, the
+transformation counts, the C1/C3 certification verdict, and whether
+the final machine states are identical.  ``--check`` exits nonzero
+when any row's final state diverges, any overlap makespan exceeds its
+naive makespan, any schedule fails certification, any underlying
+placement fails the path-replay checker, or the geomean speedup over
+the latency-bound rows falls under the 1.5x target.
+
 Wall-clock fields end in ``_s`` (speedups are ratios of wall-clock and
 carry the suffix too); everything else is deterministic.
 """
@@ -114,6 +133,10 @@ KERNEL_SCHEMA = "repro-bench-kernel/2"
 SERVICE_SCHEMA = "repro-bench-service/1"
 FLEET_SCHEMA = "repro-bench-fleet/1"
 INCR_SCHEMA = "repro-bench-incr/1"
+OVERLAP_SCHEMA = "repro-bench-overlap/1"
+
+#: The --check gate on the geomean speedup over latency-bound rows.
+OVERLAP_TARGET = 1.5
 
 #: The size ladder — kept in sync with benchmarks/test_bench_scaling_linear.py.
 SIZES = (40, 160, 640)
@@ -520,6 +543,89 @@ def incremental_bench(n_programs=4, size=30, seed=0, n_edits=5, repeats=3):
     }
 
 
+def overlap_bench():
+    """Differentially measure the overlap scheduler on every suite
+    scenario; return the ``BENCH_overlap.json`` payload
+    (``docs/scheduling.md``).
+
+    Per scenario the communication pipeline runs once and its read and
+    write placements are re-certified with the path-replay checker;
+    then each fault variant (clean run first) builds, certifies, and
+    runs both schedules through the simulator.  Makespans are simulated
+    clock units — fully deterministic, so the gates are exact, not
+    tolerance-banded.
+    """
+    import math
+
+    from repro.commgen import generate_communication
+    from repro.core.checker import check_placement
+    from repro.sched.runner import compare_schedules
+    from repro.sched.scenarios import SCENARIOS
+
+    rows = []
+    placements = []
+    for scenario in SCENARIOS:
+        result = generate_communication(scenario.source)
+        placements_ok = True
+        for problem, placement in (
+                (result.read_problem, result.read_placement),
+                (result.write_problem, result.write_placement)):
+            sufficiency = check_placement(result.analyzed.ifg, problem,
+                                          placement, min_trips=1)
+            balance = check_placement(result.analyzed.ifg, problem, placement)
+            placements_ok = (placements_ok
+                             and sufficiency.ok(ignore=("safety", "redundant"))
+                             and not balance.by_kind("balance"))
+        placements.append({
+            "scenario": scenario.name,
+            "certified": placements_ok,
+        })
+        program = result.annotated_program
+        machine = scenario.machine_model()
+        for label, plan in scenario.fault_plans():
+            cmp = compare_schedules(
+                program, machine, dict(scenario.bindings),
+                branch=scenario.branch, seed=scenario.seed, faults=plan)
+            rows.append({
+                "scenario": scenario.name,
+                "title": scenario.title,
+                "faults": label,
+                "latency_bound": scenario.latency_bound,
+                "machine": dict(scenario.machine),
+                "bindings": dict(scenario.bindings),
+                "naive_makespan": cmp.naive.total_time,
+                "overlap_makespan": cmp.overlap.total_time,
+                "speedup": cmp.speedup,
+                "hidden_latency": cmp.overlap.hidden_latency,
+                "exposed_latency": cmp.overlap.exposed_latency,
+                "naive_exposed_latency": cmp.naive.exposed_latency,
+                "occupancy": cmp.overlap.occupancy(),
+                "transforms": dict(cmp.schedule.stats),
+                "messages": len(cmp.schedule.graph.groups),
+                "state_identical": cmp.states_match,
+                "certified": cmp.certified,
+            })
+
+    latency_bound = [row["speedup"] for row in rows
+                     if row["latency_bound"] and row["faults"] == "none"]
+    geomean = math.exp(sum(math.log(s) for s in latency_bound)
+                       / len(latency_bound)) if latency_bound else 0.0
+    return {
+        "schema": OVERLAP_SCHEMA,
+        "target": OVERLAP_TARGET,
+        "rows": rows,
+        "placements": placements,
+        "geomean_latency_bound_speedup": geomean,
+        # the --check gates
+        "all_states_identical": all(r["state_identical"] for r in rows),
+        "never_slower": all(r["overlap_makespan"] <= r["naive_makespan"]
+                            for r in rows),
+        "all_certified": all(r["certified"] for r in rows),
+        "placements_certified": all(p["certified"] for p in placements),
+        "meets_target": geomean >= OVERLAP_TARGET,
+    }
+
+
 def _exact_percentile(sorted_values, q):
     """Exact sample quantile (nearest-rank) of a sorted list."""
     if not sorted_values:
@@ -900,6 +1006,10 @@ def main(argv=None):
                              "response byte-identical")
     parser.add_argument("--shards", type=int, default=3,
                         help="shard count for --fleet")
+    parser.add_argument("--overlap", action="store_true",
+                        help="differentially measure the overlap "
+                             "scheduler against the naive schedule on "
+                             "the repro.sched scenario suite")
     parser.add_argument("--chaos", metavar="SPEC", default=None,
                         help="chaos plan for --fleet, e.g. "
                              "'kills=1,crashes=1,severs=2,seed=7'")
@@ -914,7 +1024,43 @@ def main(argv=None):
         return _main_fleet(args)
     if args.incr:
         return _main_incr(args)
+    if args.overlap:
+        return _main_overlap(args)
     return _main_solver(args)
+
+
+def _main_overlap(args):
+    output = args.output or "BENCH_overlap.json"
+    report = overlap_bench()
+    write_bench_json(output, report)
+    for row in report["rows"]:
+        transforms = ",".join(f"{k}={v}"
+                              for k, v in sorted(row["transforms"].items())
+                              if v)
+        print(f"{row['scenario']:9s} faults={row['faults']:34s} "
+              f"{row['overlap_makespan']:.0f} vs "
+              f"{row['naive_makespan']:.0f} naive "
+              f"({row['speedup']:.2f}x) "
+              f"state={'identical' if row['state_identical'] else 'DIVERGED'} "
+              f"certified={'ok' if row['certified'] else 'VIOLATED'}"
+              f"{' [' + transforms + ']' if transforms else ''}")
+    print(f"wrote {output} "
+          f"(geomean latency-bound speedup: "
+          f"{report['geomean_latency_bound_speedup']:.2f}x, "
+          f"target {report['target']}x met: {report['meets_target']}; "
+          f"all states identical: {report['all_states_identical']})")
+    if args.check and not (report["all_states_identical"]
+                           and report["never_slower"]
+                           and report["all_certified"]
+                           and report["placements_certified"]
+                           and report["meets_target"]):
+        print("error: overlap scheduling regressed (a transformed "
+              "schedule diverged from the naive machine state, ran "
+              "slower than naive, failed C1/C3 certification, or the "
+              "suite fell under its geomean speedup target)",
+              file=sys.stderr)
+        return 1
+    return 0
 
 
 def _main_solver(args):

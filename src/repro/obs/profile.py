@@ -191,6 +191,10 @@ def profile_source(source, hardened=False, run_simulation=False,
             "retries": metrics.retries,
             "timeouts": metrics.timeouts,
             "dropped_messages": metrics.dropped_messages,
+            "wire_busy_time": metrics.wire_busy_time,
+            "wire_idle_time": metrics.wire_idle_time,
+            "peak_in_flight": metrics.peak_in_flight,
+            "overlap_ratio": metrics.overlap_ratio,
         }
     return build_profile(collector, extra)
 
@@ -258,7 +262,8 @@ def format_profile(payload, events=False):
     if "machine_metrics" in summary:
         metrics = summary["machine_metrics"]
         lines.append("machine metrics: "
-                     + " ".join(f"{k}={v:.0f}" if isinstance(v, float)
+                     + " ".join(f"{k}={v:.2f}" if k.endswith("_ratio")
+                                else f"{k}={v:.0f}" if isinstance(v, float)
                                 else f"{k}={v}"
                                 for k, v in sorted(metrics.items())))
 

@@ -1,0 +1,342 @@
+"""Schedule transformations over the task DAG.
+
+:func:`overlap_schedule` list-schedules a :class:`TaskGraph` around its
+fixed compute spine.  Positions are *gaps*: gap ``g`` executes after
+compute ``g - 1`` and before compute ``g`` (gap ``len(spine)`` is the
+end of the program).  Four transformations fall out of the placement:
+
+* **hoist** — a send issues at its EAGER gap (right after the compute
+  it is pinned behind), even when the naive order parked a receive in
+  front of it, so independent messages are all in flight before the
+  first blocking receive;
+* **sink** — a receive completes at its *latest* legal gap: just
+  before its first consumer compute, its earliest dependent
+  communication, or the end of the program, so all computation inside
+  its EAGER/LAZY window runs while the message is on the wire;
+* **coalesce** — small same-kind messages whose sections are consumed
+  by one shared receive merge into a single send at the latest
+  member's gap, amortizing ``message_overhead`` across the batch;
+* **split** — a message whose transfer time dwarfs the machine latency
+  is cut into chunks that travel concurrently, so the wire pipelines
+  instead of serializing one bulk transfer (chunk count balances the
+  per-chunk overhead against the divided transfer:
+  ``k* = sqrt(volume * time_per_element / overhead)``).
+
+Placement runs two sweeps.  Backward, every communication task gets its
+``latest`` legal gap (min over its array-contact cap and its
+successors' latest).  Forward, sends place at the max of their EAGER
+gap and their predecessors' placements — as early as legal — while
+receives place at their ``latest`` — as late as legal.  Within a gap, a
+topological order (sends preferred first) settles ties.  The result is
+deterministic for a given graph.
+"""
+
+import math
+import re
+from collections import defaultdict
+from dataclasses import dataclass, field
+
+from repro.machine.model import MachineModel
+from repro.sched.taskgraph import copy_task
+from repro.util.errors import AnalysisError
+
+__all__ = ["Schedule", "naive_schedule", "overlap_schedule"]
+
+_RANGE = re.compile(r"^([A-Za-z_]\w*)\((\d+):(\d+)\)$")
+
+
+@dataclass
+class Schedule:
+    """An executable task order plus how it was derived."""
+
+    name: str
+    tasks: list
+    graph: object
+    stats: dict = field(default_factory=dict)
+
+    def summary(self):
+        parts = [f"schedule={self.name}", f"tasks={len(self.tasks)}"]
+        parts.extend(f"{key}={value}"
+                     for key, value in sorted(self.stats.items()))
+        return " ".join(parts)
+
+
+def naive_schedule(graph):
+    """The trace order itself — what the plain Simulator executes."""
+    return Schedule(name="naive", tasks=list(graph.tasks), graph=graph)
+
+
+def overlap_schedule(graph, machine=None, *, coalesce=True, split=True,
+                     split_threshold=None, max_chunks=16,
+                     max_coalesce=8):
+    """List-schedule ``graph`` for latency hiding under ``machine``."""
+    machine = machine if machine is not None else MachineModel()
+    tasks = graph.tasks
+    spine_pos = graph.spine_position
+    end_gap = len(graph.compute_spine)
+    comms = graph.comm_tasks()
+
+    def contact_cap(task):
+        if task.consumers:
+            return min(spine_pos[c] for c in task.consumers)
+        return end_gap
+
+    # backward sweep: the latest gap each comm task may occupy
+    latest = {}
+    for task in reversed(comms):
+        cap = contact_cap(task)
+        for succ in graph.succs[task.index]:
+            if tasks[succ].is_comm():
+                cap = min(cap, latest[succ])
+        latest[task.index] = cap
+
+    # forward sweep: sends as early as legal, receives as late as legal
+    placed = {}
+    earliest = {}
+    for task in comms:
+        pred_gaps = [placed[p] for p in graph.preds[task.index]
+                     if tasks[p].is_comm()]
+        floor = max(pred_gaps, default=0)
+        if task.kind == "send":
+            floor = max(floor, graph.natural_gap[task.index])
+        earliest[task.index] = floor
+        gap = floor if task.kind == "send" else latest[task.index]
+        if gap < floor or gap > latest[task.index]:
+            raise AnalysisError(
+                f"infeasible window for task {task.index}: "
+                f"floor={floor} latest={latest[task.index]}")
+        placed[task.index] = gap
+
+    stats = {
+        "sunk": sum(1 for t in comms if t.kind == "recv"
+                    and placed[t.index] > graph.natural_gap[t.index]),
+        "coalesced": 0,
+        "split_chunks": 0,
+    }
+
+    # working copies: (task copy, gap)
+    items = [(copy_task(t), placed[t.index]) for t in comms]
+
+    if coalesce:
+        items = _coalesce(items, graph, machine, earliest, latest,
+                          max_coalesce, stats)
+    if split:
+        items = _split(items, graph, machine, split_threshold, max_chunks,
+                       stats)
+
+    order = _emit(items, graph, end_gap)
+    return Schedule(name="overlap", tasks=order, graph=graph, stats=stats)
+
+
+# -- coalescing ---------------------------------------------------------------
+
+def _exclusive_single_recv(task, graph):
+    """The receive task index if this send's message is consumed by
+    exactly one receive that consumes nothing else."""
+    if task.kind != "send" or len(task.groups) != 1:
+        return None
+    group = graph.groups[task.groups[0]]
+    if len(group.recvs) != 1:
+        return None
+    recv = graph.tasks[group.recvs[0]]
+    if recv.groups != task.groups:
+        return None
+    return recv.index
+
+def _shared_recv(task, graph):
+    """The receive task index if this send's whole message is consumed
+    by exactly one receive and the send feeds nothing else — the shape
+    the annotator leaves behind when it vectorizes the receive side of
+    several point productions but keeps their sends at distinct EAGER
+    points."""
+    if task.kind != "send" or len(task.groups) != 1:
+        return None
+    group = graph.groups[task.groups[0]]
+    if len(group.recvs) != 1:
+        return None
+    recv_index = group.recvs[0]
+    comm_succs = [s for s in graph.succs[task.index]
+                  if graph.tasks[s].is_comm()]
+    if any(s != recv_index for s in comm_succs):
+        return None
+    return recv_index
+
+def _coalesce(items, graph, machine, earliest, latest, max_coalesce, stats):
+    """Merge small same-kind sends that share one receive task into one
+    message, amortizing ``message_overhead`` across the batch.
+
+    The shared receive already lists every member's sections (the
+    annotator vectorized it), so only the send side changes.  The
+    merged send is placed at the latest member's gap and keyed at the
+    *largest* member index, so the within-gap order still runs every
+    member's communication predecessors (e.g. the write-backs that pin
+    the sends) first."""
+    del earliest  # receives are not moved by this transformation
+    by_index = {item[0].index: item for item in items}
+    small = machine.latency / max(machine.time_per_element, 1e-9)
+
+    buckets = defaultdict(list)  # (comm_kind, recv index) -> [(task, gap)]
+    for task, gap in items:
+        if task.kind != "send" or task.volume > small:
+            continue
+        recv_index = _shared_recv(task, graph)
+        if recv_index is not None:
+            buckets[(task.comm_kind, recv_index)].append((task, gap))
+
+    merged_away = set()
+    replacements = []
+    for (comm_kind, recv_index), members in sorted(buckets.items()):
+        del comm_kind
+        recv_gap = by_index[recv_index][1]
+        while len(members) > 1:
+            chunk, members = members[:max_coalesce], members[max_coalesce:]
+            if len(chunk) < 2:
+                break
+            send_gap = max(gap for _, gap in chunk)
+            if send_gap > recv_gap or any(
+                    latest[t.index] < send_gap for t, _ in chunk):
+                continue
+            # separate messages travel concurrently (transfer paced by
+            # the largest), one merged message serializes the volumes:
+            # merge only when the amortized overheads beat that penalty
+            volumes = [t.volume for t, _ in chunk]
+            saved = (len(chunk) - 1) * machine.message_overhead
+            penalty = machine.time_per_element * (sum(volumes) - max(volumes))
+            if saved <= penalty:
+                continue
+            sends = [t for t, _ in chunk]
+            merged = copy_task(
+                sends[-1],
+                index=max(s.index for s in sends),
+                args=tuple(a for s in sends for a in s.args),
+                volume=sum(s.volume for s in sends),
+                groups=tuple(g for s in sends for g in s.groups),
+                arrays=frozenset().union(*(s.arrays for s in sends)),
+                pin_after=max((s.pin_after for s in sends
+                               if s.pin_after is not None), default=None),
+                consumers=tuple(sorted({c for s in sends
+                                        for c in s.consumers})),
+            )
+            merged_away.update(s.index for s in sends)
+            replacements.append((merged, send_gap))
+            stats["coalesced"] += len(sends) - 1
+
+    if not replacements:
+        return items
+    kept = [item for item in items if item[0].index not in merged_away]
+    return sorted(kept + replacements, key=lambda item: item[0].index)
+
+
+# -- splitting ----------------------------------------------------------------
+
+def _simple_ranges(args):
+    """``[(array, lo, hi)]`` when every section is a concrete
+    one-dimensional range, else ``None``."""
+    out = []
+    for arg in args:
+        match = _RANGE.match(arg.replace(" ", ""))
+        if match is None:
+            return None
+        out.append((match.group(1), int(match.group(2)), int(match.group(3))))
+    return out
+
+def _split(items, graph, machine, threshold, max_chunks, stats):
+    """Cut oversized messages into concurrently-travelling chunks."""
+    if threshold is None:
+        threshold = 2.0 * machine.latency
+    by_index = {item[0].index: item for item in items}
+    out = []
+    recv_patch = {}  # recv index -> (old group args replaced by chunks)
+    for task, gap in items:
+        recv_index = _exclusive_single_recv(task, graph)
+        ranges = _simple_ranges(task.args) if recv_index is not None else None
+        transfer = task.volume * machine.time_per_element
+        if ranges is None or transfer < threshold:
+            out.append((task, gap))
+            continue
+        total = int(sum(hi - lo + 1 for _, lo, hi in ranges))
+        chunks = int(round(math.sqrt(
+            max(transfer / max(machine.message_overhead, 1e-9), 0.0))))
+        chunks = max(2, min(chunks, max_chunks, total))
+        if chunks < 2 or total < 2:
+            out.append((task, gap))
+            continue
+        per = -(-total // chunks)  # ceil
+        chunk_args = []
+        current = []
+        room = per
+        for array, lo, hi in ranges:
+            position = lo
+            while position <= hi:
+                take = min(room, hi - position + 1)
+                current.append(f"{array}({position}:{position + take - 1})")
+                position += take
+                room -= take
+                if room == 0:
+                    chunk_args.append(tuple(current))
+                    current = []
+                    room = per
+        if current:
+            chunk_args.append(tuple(current))
+        for sub, args in enumerate(chunk_args):
+            volume = float(sum(
+                int(m.group(3)) - int(m.group(2)) + 1
+                for m in (_RANGE.match(a) for a in args)))
+            out.append((copy_task(task, args=args, volume=volume, sub=sub),
+                        gap))
+        recv_patch[recv_index] = (tuple(task.args),
+                                  tuple(a for args in chunk_args
+                                        for a in args))
+        stats["split_chunks"] += len(chunk_args)
+
+    if not recv_patch:
+        return out
+    patched = []
+    for task, gap in out:
+        patch = recv_patch.get(task.index) if task.kind == "recv" else None
+        if patch is not None:
+            old, new = patch
+            remaining = [a for a in task.args if a not in old]
+            patched.append((copy_task(task, args=tuple(new) + tuple(remaining)),
+                            gap))
+        else:
+            patched.append((task, gap))
+    return patched
+
+
+# -- emission -----------------------------------------------------------------
+
+def _must_precede(a, b):
+    """Within-gap ordering: a send before the receive of its message,
+    and trace order between tasks on overlapping arrays."""
+    if (a.kind == "send" and b.kind == "recv"
+            and set(a.groups) & set(b.groups)):
+        return True
+    if a.arrays & b.arrays and (a.index, a.sub) < (b.index, b.sub):
+        return True
+    return False
+
+def _topsort_gap(bucket):
+    pending = list(bucket)
+    order = []
+    while pending:
+        ready = [t for t in pending
+                 if not any(_must_precede(o, t) for o in pending if o is not t)]
+        if not ready:
+            raise AnalysisError("cyclic within-gap communication order")
+        ready.sort(key=lambda t: (t.kind != "send", t.index, t.sub))
+        chosen = ready[0]
+        order.append(chosen)
+        pending.remove(chosen)
+    return order
+
+def _emit(items, graph, end_gap):
+    by_gap = defaultdict(list)
+    for task, gap in items:
+        by_gap[gap].append(task)
+    order = []
+    for gap in range(end_gap + 1):
+        order.extend(_topsort_gap(by_gap[gap]))
+        if gap < end_gap:
+            order.append(graph.tasks[graph.compute_spine[gap]])
+    return order

@@ -1,0 +1,167 @@
+"""The overlap benchmark suite.
+
+Each :class:`Scenario` is a mini-Fortran program plus the machine it is
+latency-bound on, chosen so the suite exercises every scheduler
+transformation honestly:
+
+* ``bulk`` — one producer loop writing a large section; the write-back
+  transfer dwarfs the machine latency, so **split** pipelines it;
+* ``fan`` — several producer loops each feeding a point consumer at the
+  end; the annotator pins each write-back right after its loop, so
+  **sink** moves the write-back/read chains into the consumers' slack;
+* ``gather`` — many producers feeding one vectorized read at a single
+  consumer on a high-overhead machine, so **coalesce** merges the
+  per-producer point sends that all terminate at the shared receive;
+* ``pipeline`` — a tight produce/consume chain with no slack: a control
+  row where the scheduler must not help much but must never hurt;
+* ``fig11`` — the paper's running example as a second control row.
+
+Control rows carry ``latency_bound=False`` and are excluded from the
+speedup gate (they still must pass the state-identical and
+never-slower gates).  Every scenario also re-runs under its seeded
+:class:`~repro.machine.faults.FaultPlan` variants, where the
+identical-final-state gate really bites: transformed schedules issue a
+different message sequence, so the fault stream diverges while the
+delivered data must not.
+"""
+
+from dataclasses import dataclass, field
+
+from repro.commgen import generate_communication
+from repro.machine.faults import FaultPlan
+from repro.machine.model import MachineModel
+from repro.sched.runner import compare_schedules
+from repro.testing.programs import FIG11_SOURCE
+
+__all__ = ["Scenario", "SCENARIOS", "run_scenario"]
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One benchmark program with its machine and fault variants."""
+
+    name: str
+    title: str
+    source: str
+    machine: dict                  # MachineModel(**machine)
+    bindings: dict
+    latency_bound: bool = True
+    faults: tuple = ()             # FaultPlan spec dicts, one row each
+    branch: str = "never"
+    seed: int = 0
+
+    def machine_model(self):
+        return MachineModel(**self.machine)
+
+    def fault_plans(self):
+        """``[(label, FaultPlan | None)]`` — the clean run first."""
+        plans = [("none", None)]
+        for spec in self.faults:
+            label = ",".join(f"{k}={v}" for k, v in sorted(spec.items()))
+            plans.append((label, FaultPlan(**spec)))
+        return plans
+
+
+def _producers(count):
+    return "".join(
+        f"    do i = 1, n\n        x{j}(i) = ...\n    enddo\n"
+        for j in range(1, count + 1)
+    )
+
+
+def _decls(count):
+    reals = "\n".join(f"real x{j}(4096)" for j in range(1, count + 1))
+    dists = "\n".join(f"distribute x{j}(block)" for j in range(1, count + 1))
+    return f"{reals}\n{dists}\n"
+
+
+BULK_SOURCE = _decls(1) + _producers(1) + "    s = x1(2) + 1\n"
+
+FAN_SOURCE = _decls(4) + _producers(4) + "".join(
+    f"    s{j} = x{j}(2) + 1\n" for j in range(1, 5)
+)
+
+GATHER_SOURCE = _decls(6) + _producers(6) + (
+    "    w = " + " + ".join(f"x{j}(2)" for j in range(1, 7)) + "\n"
+)
+
+PIPELINE_SOURCE = """
+real x(4096)
+real y(4096)
+distribute x(block)
+distribute y(block)
+    do i = 1, n
+        x(i) = ...
+    enddo
+    do j = 1, n
+        y(j) = x(j) + 1
+    enddo
+    s = y(2) + 1
+"""
+
+_MILD_FAULTS = (
+    {"drop_probability": 0.05, "seed": 7},
+    {"delay_jitter": 30.0, "seed": 11},
+    {"duplicate_probability": 0.1, "seed": 3},
+)
+
+SCENARIOS = [
+    Scenario(
+        name="bulk",
+        title="bulk write-back split into pipelined chunks",
+        source=BULK_SOURCE,
+        machine={"latency": 400.0, "time_per_element": 4.0},
+        bindings={"n": 1024},
+        faults=_MILD_FAULTS,
+    ),
+    Scenario(
+        name="fan",
+        title="per-loop write-backs sunk into end-consumer slack",
+        source=FAN_SOURCE,
+        machine={"latency": 400.0},
+        bindings={"n": 64},
+        faults=_MILD_FAULTS,
+    ),
+    Scenario(
+        name="gather",
+        title="point sends coalesced into the shared vectorized receive",
+        source=GATHER_SOURCE,
+        machine={"latency": 200.0, "message_overhead": 120.0},
+        bindings={"n": 64},
+        faults=_MILD_FAULTS,
+    ),
+    Scenario(
+        name="pipeline",
+        title="tight produce/consume chain (control: no slack)",
+        source=PIPELINE_SOURCE,
+        machine={"latency": 100.0},
+        bindings={"n": 32},
+        latency_bound=False,
+        faults=_MILD_FAULTS,
+    ),
+    Scenario(
+        name="fig11",
+        title="paper Figure 11 running example (control)",
+        source=FIG11_SOURCE,
+        machine={"latency": 100.0},
+        bindings={"n": 16},
+        latency_bound=False,
+        faults=({"drop_probability": 0.05, "seed": 7},),
+    ),
+]
+
+
+def run_scenario(scenario):
+    """Run one scenario under each of its fault variants.
+
+    Returns ``[(label, OverlapComparison)]``; the communication
+    pipeline runs once, the schedule comparison once per variant."""
+    result = generate_communication(scenario.source)
+    program = result.annotated_program
+    machine = scenario.machine_model()
+    rows = []
+    for label, plan in scenario.fault_plans():
+        rows.append((label, compare_schedules(
+            program, machine, dict(scenario.bindings),
+            branch=scenario.branch, seed=scenario.seed, faults=plan)))
+    return rows

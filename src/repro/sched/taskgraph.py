@@ -1,0 +1,296 @@
+"""Task-DAG extraction from an annotated program.
+
+The builder *runs* the annotated program through the
+:class:`~repro.machine.executor.Simulator`'s control-flow machinery —
+loops unrolled under the bindings, branches resolved by the
+:class:`~repro.machine.executor.ConditionPolicy` — but records tasks
+instead of spending time: one compute task per work unit, one send task
+per ``*_Send`` statement, one receive task per ``*_Recv``.  Section
+descriptors are concretized under the environment at trace time
+(``x(11:n + 10)`` at ``n=32`` becomes ``x(11:42)``), so a task list can
+later be replayed without re-evaluating the program.
+
+The DAG encodes the paper's legal windows:
+
+* compute tasks form a chain — the scheduler reorders communication
+  around the computation stream, never the computation itself;
+* a send is pinned *after* the compute task that precedes it in trace
+  order (its EAGER point: the annotator already placed the send at the
+  earliest legal statement, so hoisting further would cross the point
+  where its data becomes available);
+* every communication task is pinned *before* the first later compute
+  task touching one of its arrays (for a receive this is its LAZY
+  point — the consumer needs the data; for a send it is the point its
+  data could be overwritten);
+* each receive depends on the send(s) of its message, and two
+  communication tasks on overlapping arrays keep their trace order, so
+  partial-section pairing stays FIFO per array.
+
+The span between a message's send and its first receive is the
+EAGER/LAZY *slack window*; :meth:`TaskGraph.windows` reports each
+window's width in work units — the computation available for hiding
+that message's latency.
+"""
+
+from dataclasses import dataclass, field, replace
+
+from repro.lang import ast
+from repro.machine.executor import ConditionPolicy, Simulator
+from repro.util.errors import AnalysisError
+
+__all__ = ["Task", "MessageGroup", "TaskGraph", "build_task_graph"]
+
+
+@dataclass
+class Task:
+    """One schedulable unit: a work quantum, a message issue, or a
+    message completion.  ``index`` is the trace position; transformed
+    copies keep the index of their earliest constituent and use ``sub``
+    to order split chunks."""
+
+    index: int
+    kind: str                 # "compute" | "send" | "recv"
+    comm_kind: str = None     # "read" | "write" | "prefetch" | …
+    args: tuple = ()          # canonical section descriptors
+    volume: float = 0.0
+    groups: tuple = ()        # message-group ids (send: one; recv: >= 1)
+    arrays: frozenset = field(default_factory=frozenset)
+    timing: str = None        # "EAGER"/"LAZY" placement provenance
+    pin_after: int = None     # compute task this send is pinned after
+    consumers: tuple = ()     # compute tasks this comm must precede
+    sub: int = 0              # chunk ordinal after a split
+
+    def is_comm(self):
+        return self.kind != "compute"
+
+
+@dataclass
+class MessageGroup:
+    """One traced message: a send task, the receive task(s) that
+    consume its sections, and the EAGER/LAZY slack window between."""
+
+    id: int
+    kind: str
+    send: int                 # send task index
+    recvs: tuple              # receive task indices, trace order
+    sections: tuple           # canonical section descriptors
+    volume: float
+    timing: str = None
+    slack_work: float = 0.0   # work units inside the window
+
+    @property
+    def eager_index(self):
+        return self.send
+
+    @property
+    def lazy_index(self):
+        return min(self.recvs) if self.recvs else None
+
+
+@dataclass
+class TaskGraph:
+    """The traced task list with its dependence edges."""
+
+    program: object
+    env: dict
+    tasks: list
+    groups: dict              # id -> MessageGroup
+    preds: dict               # task index -> frozenset of task indices
+    succs: dict
+    compute_spine: tuple      # compute task indices, trace order
+    natural_gap: dict         # comm task index -> naive gap number
+
+    @property
+    def spine_position(self):
+        """Compute task index -> position in the spine."""
+        return {index: pos for pos, index in enumerate(self.compute_spine)}
+
+    def comm_tasks(self):
+        return [t for t in self.tasks if t.is_comm()]
+
+    def windows(self):
+        """Slack-window report: one row per message group."""
+        return [
+            {
+                "group": group.id,
+                "kind": group.kind,
+                "sections": list(group.sections),
+                "volume": group.volume,
+                "timing": group.timing,
+                "eager_index": group.eager_index,
+                "lazy_index": group.lazy_index,
+                "slack_work": group.slack_work,
+            }
+            for group in self.groups.values()
+        ]
+
+
+def _expression_names(expr):
+    for sub in ast.walk_expressions(expr):
+        if isinstance(sub, ast.Var):
+            yield sub.name
+        elif isinstance(sub, ast.ArrayRef):
+            yield sub.name
+
+
+def _statement_names(stmt):
+    names = set()
+    for expr in ast.statement_expressions(stmt):
+        names.update(_expression_names(expr))
+    return frozenset(names)
+
+
+class _TraceBuilder(Simulator):
+    """A Simulator that records tasks instead of advancing the clock."""
+
+    def __init__(self, program, machine=None, bindings=None, policy=None):
+        super().__init__(program, machine, bindings, policy)
+        self.trace = []
+        self.raw_groups = {}
+        self._group_sequence = 0
+        self._current = None
+
+    def _finish_run(self):
+        pass  # tracing spends no time; no occupancy event
+
+    def _execute(self, stmt):
+        self._current = stmt
+        super()._execute(stmt)
+
+    def _work(self):
+        self.trace.append(Task(index=len(self.trace), kind="compute",
+                               arrays=_statement_names(self._current)))
+
+    def _issue(self, kind, args):
+        sections = [(self._descriptor_size(arg), self.canonical_argument(arg))
+                    for arg in args]
+        volume = float(sum(size for size, _ in sections))
+        canonical = tuple(c for _, c in sections)
+        self._group_sequence += 1
+        group_id = self._group_sequence
+        timing = getattr(self._current, "timing", None)
+        index = len(self.trace)
+        self.trace.append(Task(
+            index=index, kind="send", comm_kind=kind, args=canonical,
+            volume=volume, groups=(group_id,), timing=timing,
+            arrays=frozenset(c.split("(", 1)[0] for c in canonical)))
+        self.raw_groups[group_id] = {
+            "id": group_id, "kind": kind, "send": index, "recvs": [],
+            "sections": canonical, "volume": volume, "timing": timing,
+        }
+        for arg, (_, c) in zip(args, sections):
+            self._outstanding.append({
+                "kind": kind, "arg": arg, "canonical": c,
+                "array": arg.split("(", 1)[0], "group": group_id,
+            })
+
+    def _complete(self, kind, args):
+        matched = []
+        for arg in args:
+            entry = self._find_entry(kind, arg)
+            if entry is not None:
+                self._outstanding.remove(entry)
+                matched.append(entry)
+        if not matched:
+            raise AnalysisError(
+                f"receive of {kind} {sorted(args)} without an outstanding send"
+            )
+        index = len(self.trace)
+        canonical = tuple(entry["canonical"] for entry in matched)
+        group_ids = tuple(dict.fromkeys(entry["group"] for entry in matched))
+        self.trace.append(Task(
+            index=index, kind="recv", comm_kind=kind, args=canonical,
+            groups=group_ids, timing=getattr(self._current, "timing", None),
+            arrays=frozenset(c.split("(", 1)[0] for c in canonical)))
+        for group_id in group_ids:
+            self.raw_groups[group_id]["recvs"].append(index)
+
+
+def build_task_graph(program, machine=None, bindings=None, policy=None):
+    """Trace ``program`` under ``bindings``/``policy`` and assemble the
+    task DAG.  ``policy`` resolves opaque branches exactly as the naive
+    simulation would (same mode and seed → same trace)."""
+    if policy is None:
+        policy = ConditionPolicy()
+    tracer = _TraceBuilder(program, machine, bindings, policy)
+    tracer.run()
+    tasks = tracer.trace
+
+    preds = {t.index: set() for t in tasks}
+    succs = {t.index: set() for t in tasks}
+
+    def edge(a, b):
+        if a != b:
+            succs[a].add(b)
+            preds[b].add(a)
+
+    spine = tuple(t.index for t in tasks if t.kind == "compute")
+    for a, b in zip(spine, spine[1:]):
+        edge(a, b)
+
+    # natural (naive) gap: number of compute tasks preceding the task
+    natural_gap = {}
+    seen_compute = 0
+    for t in tasks:
+        if t.kind == "compute":
+            seen_compute += 1
+        else:
+            natural_gap[t.index] = seen_compute
+
+    comms = [t for t in tasks if t.is_comm()]
+
+    # EAGER pin: a send stays after the compute that precedes it
+    for t in comms:
+        if t.kind == "send" and natural_gap[t.index] > 0:
+            t.pin_after = spine[natural_gap[t.index] - 1]
+            edge(t.pin_after, t.index)
+
+    # array-contact pin: every comm task precedes the first later
+    # compute touching one of its arrays (the receive's LAZY consumer;
+    # for a send, the point its data could be overwritten)
+    for t in comms:
+        for later in tasks[t.index + 1:]:
+            if later.kind == "compute" and later.arrays & t.arrays:
+                t.consumers = (later.index,)
+                edge(t.index, later.index)
+                break
+
+    # message edges: a receive needs its send
+    groups = {}
+    for raw in tracer.raw_groups.values():
+        for r in raw["recvs"]:
+            edge(raw["send"], r)
+        first_recv = min(raw["recvs"]) if raw["recvs"] else None
+        slack = 0.0
+        if first_recv is not None:
+            unit = tracer.machine.work_unit
+            slack = (natural_gap[first_recv]
+                     - natural_gap[raw["send"]]) * unit
+        groups[raw["id"]] = MessageGroup(
+            id=raw["id"], kind=raw["kind"], send=raw["send"],
+            recvs=tuple(raw["recvs"]), sections=raw["sections"],
+            volume=raw["volume"], timing=raw["timing"], slack_work=slack)
+
+    # trace order between communication tasks on overlapping arrays:
+    # keeps partial-section pairing FIFO and read-after-writeback order
+    for i, a in enumerate(comms):
+        for b in comms[i + 1:]:
+            if a.arrays & b.arrays:
+                edge(a.index, b.index)
+
+    return TaskGraph(
+        program=program,
+        env=dict(tracer.env),
+        tasks=tasks,
+        groups=groups,
+        preds={k: frozenset(v) for k, v in preds.items()},
+        succs={k: frozenset(v) for k, v in succs.items()},
+        compute_spine=spine,
+        natural_gap=natural_gap,
+    )
+
+
+def copy_task(task, **changes):
+    """A transformed copy of ``task`` (schedules never mutate the
+    traced graph)."""
+    return replace(task, **changes)

@@ -1,0 +1,159 @@
+"""Executor timeline events — ordering, monotone clocks, and latency
+accounting, with and without the retry protocol in play.
+
+Every message must tell a coherent story through the obs stream:
+``send -> transmit (-> timeout -> retry -> transmit)* -> recv``, with
+clocks that never run backwards and a final ``recv`` whose exposed and
+hidden parts add up to the surviving transmission's transfer time.
+"""
+
+from collections import defaultdict
+
+import pytest
+
+from repro.machine import (
+    ConditionPolicy,
+    FaultPlan,
+    MachineModel,
+    RetryPolicy,
+    Simulator,
+)
+from repro.lang import ast
+from repro.lang.parser import parse
+from repro.obs import tracing
+
+
+def overlap_program():
+    """Two messages with work between their sends and receives."""
+    program = parse("do i = 1, n\na = 1\nenddo\nu = 1\n")
+    program.body.insert(0, ast.Comm("read", "send", ["x(1:n)"]))
+    program.body.insert(1, ast.Comm("write", "send", ["y(1:n)"]))
+    program.body.insert(3, ast.Comm("read", "recv", ["x(1:n)"]))
+    program.body.append(ast.Comm("write", "recv", ["y(1:n)"]))
+    return program
+
+
+def traced_run(faults=None, retry=None, n=8, machine=None):
+    with tracing() as collector:
+        # the simulator binds the active collector at construction
+        simulator = Simulator(overlap_program(), machine or MachineModel(),
+                              {"n": n}, ConditionPolicy("never"),
+                              faults, retry)
+        metrics = simulator.run()
+    return metrics, collector.events("machine")
+
+
+def per_message(events):
+    stories = defaultdict(list)
+    for event in events:
+        if "message" in event:
+            stories[event["message"]].append(event)
+    return stories
+
+
+def story_names(events):
+    return [e["name"] for e in events]
+
+
+def assert_well_formed(story):
+    """send, one or more transmits, timeouts each answered by a retry
+    plus retransmit (except a final exhausted one), one recv."""
+    names = story_names(story)
+    assert names[0] == "send"
+    assert names[1] == "transmit"
+    assert names[-1] == "recv"
+    assert names.count("recv") == 1
+    body = names[2:-1]
+    while body:
+        assert body[:3] == ["timeout", "retry", "transmit"], names
+        body = body[3:]
+
+
+def test_clean_run_tells_a_three_event_story():
+    metrics, events = traced_run()
+    stories = per_message(events)
+    assert len(stories) == metrics.messages == 2
+    for story in stories.values():
+        assert story_names(story) == ["send", "transmit", "recv"]
+    assert metrics.retries == 0
+    assert not any(e["name"] in ("timeout", "retry") for e in events)
+
+
+def test_clocks_are_monotone_within_and_across_messages():
+    metrics, events = traced_run(FaultPlan(seed=4, drop_probability=0.5),
+                                 RetryPolicy(max_retries=16, timeout=60.0))
+    del metrics
+    clocks = [e["clock"] for e in events if "clock" in e]
+    assert clocks == sorted(clocks)
+    assert clocks  # the run actually emitted timeline events
+
+
+def test_retry_story_interleaves_timeout_retry_retransmit():
+    metrics, events = traced_run(FaultPlan(seed=4, drop_probability=0.5),
+                                 RetryPolicy(max_retries=16, timeout=60.0))
+    assert metrics.retries > 0  # the seed must actually bite
+    stories = per_message(events)
+    for story in stories.values():
+        assert_well_formed(story)
+    assert sum(story_names(s).count("retry")
+               for s in stories.values()) == metrics.retries
+    assert sum(story_names(s).count("timeout")
+               for s in stories.values()) == metrics.timeouts
+    # each retransmission was announced by exactly one retry event
+    assert sum(story_names(s).count("transmit") for s in stories.values()) \
+        == metrics.messages + metrics.retries
+
+
+def test_retry_timeouts_back_off_exponentially():
+    metrics, events = traced_run(FaultPlan(seed=4, drop_probability=0.5),
+                                 RetryPolicy(max_retries=16, timeout=60.0,
+                                             backoff=2.0))
+    assert metrics.retries > 0
+    for story in per_message(events).values():
+        retries = [e for e in story if e["name"] == "retry"]
+        for event in retries:
+            assert event["next_timeout"] == 60.0 * 2.0 ** event["attempt"]
+
+
+def test_recv_accounts_exposed_plus_hidden_as_the_final_transfer():
+    for faults, retry in (
+        (None, None),
+        (FaultPlan(seed=4, drop_probability=0.5),
+         RetryPolicy(max_retries=16, timeout=60.0)),
+        (FaultPlan(seed=11, delay_jitter=30.0), None),
+    ):
+        metrics, events = traced_run(faults, retry)
+        stories = per_message(events)
+        for story in stories.values():
+            surviving = [e for e in story if e["name"] == "transmit"][-1]
+            (recv,) = [e for e in story if e["name"] == "recv"]
+            assert recv["exposed"] + recv["hidden"] == \
+                pytest.approx(surviving["transfer"])
+            assert recv["clock"] >= surviving["ready"]
+        # the exposed/hidden split in the metrics is the event totals,
+        # plus pure timeout stall on the exposed side
+        exposed = sum(e["exposed"] for e in events if e["name"] == "recv")
+        hidden = sum(e["hidden"] for e in events if e["name"] == "recv")
+        assert exposed + metrics.timeout_wait == \
+            pytest.approx(metrics.exposed_latency)
+        assert hidden == pytest.approx(metrics.hidden_latency)
+
+
+def test_transmit_events_account_all_wire_time():
+    metrics, events = traced_run(FaultPlan(seed=4, drop_probability=0.5),
+                                 RetryPolicy(max_retries=16, timeout=60.0))
+    transmits = [e for e in events if e["name"] == "transmit"]
+    assert sum(e["transfer"] for e in transmits) == \
+        pytest.approx(metrics.wire_time)
+    assert len(transmits) == len(metrics.transfers)
+    # dropped attempts occupied the channel too
+    assert sum(1 for e in transmits if e["dropped"]) == \
+        metrics.dropped_messages
+
+
+def test_run_event_reports_makespan_and_occupancy():
+    metrics, events = traced_run()
+    (run_event,) = [e for e in events if e["name"] == "run"]
+    assert run_event["makespan"] == metrics.total_time
+    for key, value in metrics.occupancy().items():
+        assert run_event[key] == value

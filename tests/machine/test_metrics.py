@@ -35,3 +35,53 @@ def test_total_time_components():
                                exposed_latency=5.0, hidden_latency=100.0)
     assert metrics.total_time == 10.0  # hidden latency costs nothing
     assert metrics.comm_time == 7.0
+
+
+# -- channel occupancy ------------------------------------------------------
+
+def test_wire_busy_time_unions_overlapping_transfers():
+    metrics = ExecutionMetrics()
+    metrics.record_transfer(0.0, 10.0)
+    metrics.record_transfer(5.0, 12.0)   # overlaps the first
+    metrics.record_transfer(20.0, 25.0)  # disjoint
+    metrics.record_transfer(21.0, 23.0)  # contained in the third
+    assert metrics.wire_time == 10.0 + 7.0 + 5.0 + 2.0
+    assert metrics.wire_busy_time == 12.0 + 5.0
+
+
+def test_peak_in_flight_counts_concurrent_messages():
+    metrics = ExecutionMetrics()
+    metrics.record_transfer(0.0, 10.0)
+    metrics.record_transfer(2.0, 8.0)
+    metrics.record_transfer(4.0, 6.0)
+    metrics.record_transfer(20.0, 30.0)
+    assert metrics.peak_in_flight == 3
+
+
+def test_wire_idle_time_never_negative():
+    metrics = ExecutionMetrics(work_time=4.0)
+    metrics.record_transfer(0.0, 100.0)  # longer than the makespan
+    assert metrics.wire_idle_time == 0.0
+    idle = ExecutionMetrics(work_time=50.0)
+    idle.record_transfer(0.0, 10.0)
+    assert idle.wire_idle_time == 40.0
+
+
+def test_overlap_ratio_is_hidden_over_total_latency():
+    metrics = ExecutionMetrics(hidden_latency=30.0, exposed_latency=10.0)
+    assert metrics.overlap_ratio == 0.75
+    assert ExecutionMetrics().overlap_ratio == 0.0
+
+
+def test_occupancy_dict_is_flat_and_complete():
+    metrics = ExecutionMetrics(work_time=10.0, hidden_latency=5.0,
+                               exposed_latency=5.0)
+    metrics.record_transfer(0.0, 10.0)
+    occupancy = metrics.occupancy()
+    assert occupancy == {
+        "wire_time": 10.0,
+        "wire_busy_time": 10.0,
+        "wire_idle_time": 5.0,
+        "peak_in_flight": 1,
+        "overlap_ratio": 0.5,
+    }

@@ -142,3 +142,62 @@ def test_metrics_speedup_and_summary():
     slow = simulate("a = 1\nb = 1\nu = 1")
     assert slow.speedup_over(fast) < 1 < fast.speedup_over(slow)
     assert "messages=0" in fast.summary()
+
+
+# -- receive/send pairing (_find_entry) -------------------------------------
+
+def pairing_program(sends, recv):
+    from repro.lang import ast
+    from repro.lang.parser import parse
+    prog = parse("a = 1")
+    for position, section in enumerate(sends):
+        prog.body.insert(position, ast.Comm("read", "send", [section]))
+    prog.body.append(ast.Comm("read", "recv", [recv]))
+    return prog
+
+
+def leftover(simulator):
+    return simulator.machine_state()["outstanding"]
+
+
+def test_receive_pairing_prefers_the_exact_section():
+    # two partial sends of x; the receive names the later one verbatim,
+    # so the earlier send must stay outstanding
+    sim = Simulator(pairing_program(["x(1:8)", "x(9:16)"], "x(9:16)"),
+                    MachineModel())
+    sim.run()
+    assert (("read x", "1"), 1) in leftover(sim)
+    assert (("read x", "9"), 1) not in leftover(sim)
+
+
+def test_receive_pairing_matches_the_canonical_section():
+    # no exact text match: x(1:n) at n=64 renders as x(1:64), which the
+    # receive names.  It must pair with that entry, not with whichever
+    # partial section of x was sent first.
+    sim = Simulator(pairing_program(["x(1:32)", "x(1:n)"], "x(1:64)"),
+                    MachineModel(), {"n": 64})
+    sim.run()
+    remaining = leftover(sim)
+    assert (("read x", "32"), 1) in remaining
+    assert (("read x", "64"), 1) not in remaining
+
+
+def test_receive_pairing_falls_back_to_first_of_array():
+    # neither exact nor canonical match (a partial y(a(1:i))-style
+    # receive): the first-inserted entry of the array wins
+    sim = Simulator(pairing_program(["x(1:8)", "x(9:16)"], "x(3:4)"),
+                    MachineModel())
+    sim.run()
+    remaining = leftover(sim)
+    assert (("read x", "9"), 1) in remaining
+    assert (("read x", "1"), 1) not in remaining
+
+
+def test_receive_pairing_is_deterministic():
+    def digest():
+        sim = Simulator(pairing_program(["x(1:32)", "x(1:n)"], "x(1:64)"),
+                        MachineModel(), {"n": 64})
+        sim.run()
+        return sim.state_digest()
+
+    assert digest() == digest()

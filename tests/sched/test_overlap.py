@@ -1,0 +1,180 @@
+"""Schedule transformations: hoist/sink/coalesce/split, legality,
+and the C1/C3 re-certification (including sabotage)."""
+
+import pytest
+
+from repro.commgen import generate_communication
+from repro.machine import ConditionPolicy, MachineModel
+from repro.sched import (
+    build_task_graph,
+    certify_schedule,
+    naive_schedule,
+    overlap_schedule,
+)
+from repro.sched.overlap import Schedule
+from repro.sched.scenarios import BULK_SOURCE, FAN_SOURCE, GATHER_SOURCE
+from repro.sched.taskgraph import copy_task
+
+
+def graph_for(source, bindings=None):
+    result = generate_communication(source)
+    return build_task_graph(result.annotated_program, None,
+                            bindings or {"n": 8}, ConditionPolicy("never"))
+
+
+def positions(schedule):
+    """Task index -> slot, for original (unsplit, unmerged) tasks."""
+    return {task.index: slot for slot, task in enumerate(schedule.tasks)}
+
+
+def test_naive_schedule_is_the_trace_order(subtests=None):
+    graph = graph_for(FAN_SOURCE)
+    naive = naive_schedule(graph)
+    assert [t.index for t in naive.tasks] == [t.index for t in graph.tasks]
+
+
+def test_overlap_keeps_the_compute_spine():
+    graph = graph_for(FAN_SOURCE)
+    schedule = overlap_schedule(graph, MachineModel(latency=400.0))
+    spine = [t.index for t in schedule.tasks if t.kind == "compute"]
+    assert tuple(spine) == graph.compute_spine
+
+
+def test_overlap_is_topologically_valid():
+    graph = graph_for(FAN_SOURCE)
+    schedule = overlap_schedule(graph, MachineModel(latency=400.0),
+                                coalesce=False, split=False)
+    slot = positions(schedule)
+    for task in graph.tasks:
+        for pred in graph.preds[task.index]:
+            assert slot[pred] < slot[task.index], (pred, task.index)
+
+
+def test_receives_sink_toward_their_consumers():
+    graph = graph_for(FAN_SOURCE)
+    schedule = overlap_schedule(graph, MachineModel(latency=400.0),
+                                coalesce=False, split=False)
+    assert schedule.stats["sunk"] > 0
+    naive_slot = positions(naive_schedule(graph))
+    slot = positions(schedule)
+
+    def computes_before(slots, task_index, tasks):
+        return sum(1 for t in tasks[:slots[task_index]]
+                   if t.kind == "compute")
+
+    sunk = 0
+    for task in graph.comm_tasks():
+        if task.kind != "recv":
+            continue
+        before = sum(1 for t in naive_schedule(graph).tasks[:naive_slot[task.index]]
+                     if t.kind == "compute")
+        after = sum(1 for t in schedule.tasks[:slot[task.index]]
+                    if t.kind == "compute")
+        assert after >= before
+        sunk += after > before
+    assert sunk == schedule.stats["sunk"]
+
+
+def test_split_cuts_bulk_messages_into_chunks():
+    graph = graph_for(BULK_SOURCE, bindings={"n": 1024})
+    machine = MachineModel(latency=400.0, time_per_element=4.0)
+    schedule = overlap_schedule(graph, machine, coalesce=False)
+    assert schedule.stats["split_chunks"] >= 2
+    bulk = next(g for g in graph.groups.values() if g.volume >= 1024)
+    chunks = [t for t in schedule.tasks
+              if t.kind == "send" and bulk.id in t.groups]
+    assert len(chunks) == schedule.stats["split_chunks"]
+    # the chunks partition the original range exactly
+    covered = []
+    for chunk in chunks:
+        for arg in chunk.args:
+            lo, hi = arg.split("(")[1].rstrip(")").split(":")
+            covered.extend(range(int(lo), int(hi) + 1))
+    assert sorted(covered) == list(range(1, 1025))
+    # and the receive was rewritten to wait on every chunk
+    recv = next(t for t in schedule.tasks
+                if t.kind == "recv" and bulk.id in t.groups)
+    assert len(recv.args) >= schedule.stats["split_chunks"]
+    assert certify_schedule(schedule).ok()
+
+
+def test_coalesce_merges_sends_sharing_a_receive():
+    graph = graph_for(GATHER_SOURCE, bindings={"n": 64})
+    machine = MachineModel(latency=200.0, message_overhead=120.0)
+    schedule = overlap_schedule(graph, machine, split=False)
+    assert schedule.stats["coalesced"] == 5
+    merged = [t for t in schedule.tasks
+              if t.kind == "send" and len(t.groups) == 6]
+    assert len(merged) == 1
+    assert len(merged[0].args) == 6
+    assert certify_schedule(schedule).ok()
+
+
+def test_coalesce_respects_the_volume_penalty():
+    # tiny overhead: merging k messages saves (k-1)*overhead but
+    # serializes their volumes on one wire transfer — not worth it
+    graph = graph_for(GATHER_SOURCE, bindings={"n": 64})
+    machine = MachineModel(latency=200.0, message_overhead=0.5,
+                           time_per_element=1.0)
+    schedule = overlap_schedule(graph, machine, split=False)
+    assert schedule.stats["coalesced"] == 0
+
+
+def test_certify_accepts_both_standard_schedules():
+    graph = graph_for(FAN_SOURCE)
+    assert certify_schedule(naive_schedule(graph)).ok()
+    assert certify_schedule(
+        overlap_schedule(graph, MachineModel(latency=400.0))).ok()
+
+
+# -- sabotage: the checker must catch hand-broken schedules -----------------
+
+def broken(graph, tasks):
+    return Schedule(name="sabotaged", tasks=tasks, graph=graph)
+
+
+@pytest.fixture(scope="module")
+def fan_graph():
+    return graph_for(FAN_SOURCE)
+
+
+def test_certify_flags_a_dropped_send(fan_graph):
+    tasks = [t for t in fan_graph.tasks
+             if not (t.kind == "send" and t.comm_kind == "write")]
+    report = certify_schedule(broken(fan_graph, tasks))
+    assert report.by_criterion("C1")
+
+
+def test_certify_flags_a_reordered_spine(fan_graph):
+    tasks = list(fan_graph.tasks)
+    computes = [i for i, t in enumerate(tasks) if t.kind == "compute"]
+    a, b = computes[0], computes[-1]
+    tasks[a], tasks[b] = tasks[b], tasks[a]
+    report = certify_schedule(broken(fan_graph, tasks))
+    assert any(v.element == "<spine>" for v in report.by_criterion("C3"))
+
+
+def test_certify_flags_a_receive_after_its_consumer(fan_graph):
+    tasks = list(fan_graph.tasks)
+    recv_slot = next(i for i, t in enumerate(tasks)
+                     if t.kind == "recv" and t.consumers)
+    tasks.append(tasks.pop(recv_slot))
+    report = certify_schedule(broken(fan_graph, tasks))
+    assert report.by_criterion("C3")
+
+
+def test_certify_flags_a_hoist_past_the_eager_pin(fan_graph):
+    tasks = list(fan_graph.tasks)
+    send_slot = next(i for i, t in enumerate(tasks)
+                     if t.kind == "send" and t.pin_after is not None)
+    tasks.insert(0, tasks.pop(send_slot))
+    report = certify_schedule(broken(fan_graph, tasks))
+    assert report.by_criterion("C3")
+
+
+def test_certify_flags_redundant_extra_traffic(fan_graph):
+    tasks = list(fan_graph.tasks)
+    send = next(t for t in tasks if t.kind == "send")
+    tasks.append(copy_task(send))
+    report = certify_schedule(broken(fan_graph, tasks))
+    assert report.by_criterion("O1") or report.by_criterion("C1")

@@ -1,0 +1,93 @@
+"""Differential execution: the naive schedule reproduces the plain
+simulation bit for bit, and every overlap schedule lands in the same
+final machine state — clean and under seeded faults."""
+
+import pytest
+
+from repro.commgen import generate_communication
+from repro.machine import ConditionPolicy, FaultPlan, MachineModel, Simulator
+from repro.machine.model import RetryPolicy
+from repro.sched import (
+    ScheduleRunner,
+    build_task_graph,
+    compare_schedules,
+    naive_schedule,
+)
+from repro.sched.scenarios import SCENARIOS, run_scenario
+
+
+def annotated(source):
+    return generate_communication(source).annotated_program
+
+
+@pytest.mark.parametrize("scenario", SCENARIOS, ids=lambda s: s.name)
+def test_naive_schedule_reproduces_the_simulator_exactly(scenario):
+    program = annotated(scenario.source)
+    machine = scenario.machine_model()
+    graph = build_task_graph(program, machine, dict(scenario.bindings),
+                             ConditionPolicy(scenario.branch, scenario.seed))
+    simulator = Simulator(program, machine, dict(scenario.bindings),
+                          ConditionPolicy(scenario.branch, scenario.seed))
+    expected = simulator.run()
+    runner = ScheduleRunner(naive_schedule(graph), machine)
+    actual = runner.run()
+    assert actual == expected  # full metrics, transfer log included
+    assert runner.machine_state() == simulator.machine_state()
+    assert runner.state_digest() == simulator.state_digest()
+
+
+def test_naive_schedule_reproduces_faulty_runs_exactly():
+    scenario = next(s for s in SCENARIOS if s.name == "fan")
+    program = annotated(scenario.source)
+    machine = scenario.machine_model()
+    faults = FaultPlan(drop_probability=0.5, seed=5)
+    retry = RetryPolicy(max_retries=16, timeout=150.0)
+    graph = build_task_graph(program, machine, dict(scenario.bindings),
+                             ConditionPolicy("never"))
+    simulator = Simulator(program, machine, dict(scenario.bindings),
+                          ConditionPolicy("never"), faults, retry)
+    expected = simulator.run()
+    assert expected.retries > 0  # the fault plan actually bit
+    runner = ScheduleRunner(naive_schedule(graph), machine, faults, retry)
+    assert runner.run() == expected
+    assert runner.machine_state() == simulator.machine_state()
+
+
+@pytest.mark.parametrize("scenario", SCENARIOS, ids=lambda s: s.name)
+def test_overlap_state_identical_under_every_fault_variant(scenario):
+    for label, comparison in run_scenario(scenario):
+        assert comparison.states_match, (scenario.name, label)
+        assert comparison.certified, (scenario.name, label)
+        assert (comparison.overlap.total_time
+                <= comparison.naive.total_time), (scenario.name, label)
+
+
+def test_overlap_differential_on_generator_programs():
+    from repro.lang.printer import format_program
+    from repro.testing.generator import ArrayProgramGenerator
+
+    checked = 0
+    for seed in range(6):
+        source = format_program(
+            ArrayProgramGenerator(seed=seed).program(size=12))
+        try:
+            program = annotated(source)
+        except Exception:
+            continue  # not every generated program places communication
+        comparison = compare_schedules(program, MachineModel(latency=150.0),
+                                       {"n": 6}, branch="always")
+        assert comparison.states_match, seed
+        assert comparison.certified, seed
+        checked += 1
+    assert checked >= 3
+
+
+def test_comparison_summary_mentions_the_verdict():
+    scenario = SCENARIOS[0]
+    comparison = compare_schedules(annotated(scenario.source),
+                                   scenario.machine_model(),
+                                   dict(scenario.bindings))
+    text = comparison.summary()
+    assert "state=identical" in text
+    assert "certified=ok" in text
+    assert "naive" in text

@@ -1,0 +1,112 @@
+"""Task-DAG extraction: pins, windows, edges, concretization."""
+
+import pytest
+
+from repro.commgen import generate_communication
+from repro.machine import ConditionPolicy
+from repro.sched import build_task_graph
+from repro.sched.scenarios import FAN_SOURCE, GATHER_SOURCE
+from repro.testing.programs import FIG11_SOURCE
+
+
+def graph_for(source, bindings=None, branch="never"):
+    result = generate_communication(source)
+    return build_task_graph(result.annotated_program, None,
+                            bindings or {"n": 8}, ConditionPolicy(branch))
+
+
+@pytest.fixture(scope="module")
+def fan_graph():
+    return graph_for(FAN_SOURCE)
+
+
+def test_compute_spine_is_a_chain(fan_graph):
+    spine = fan_graph.compute_spine
+    assert len(spine) > 0
+    for a, b in zip(spine, spine[1:]):
+        assert b in fan_graph.succs[a]
+        assert a in fan_graph.preds[b]
+
+
+def test_task_kinds_partition_the_trace(fan_graph):
+    for position, task in enumerate(fan_graph.tasks):
+        assert task.index == position
+        assert task.kind in ("compute", "send", "recv")
+
+
+def test_sends_are_pinned_after_their_eager_compute(fan_graph):
+    for task in fan_graph.comm_tasks():
+        if task.kind != "send":
+            continue
+        gap = fan_graph.natural_gap[task.index]
+        if gap == 0:
+            assert task.pin_after is None
+        else:
+            assert task.pin_after == fan_graph.compute_spine[gap - 1]
+            assert task.pin_after in fan_graph.preds[task.index]
+
+
+def test_comm_tasks_precede_their_first_consumer(fan_graph):
+    for task in fan_graph.comm_tasks():
+        for consumer in task.consumers:
+            compute = fan_graph.tasks[consumer]
+            assert compute.kind == "compute"
+            assert consumer > task.index
+            assert compute.arrays & task.arrays
+            assert consumer in fan_graph.succs[task.index]
+
+
+def test_every_receive_depends_on_its_send(fan_graph):
+    for group in fan_graph.groups.values():
+        assert fan_graph.tasks[group.send].kind == "send"
+        for recv in group.recvs:
+            assert fan_graph.tasks[recv].kind == "recv"
+            assert group.send in fan_graph.preds[recv]
+
+
+def test_trace_order_kept_between_comms_on_shared_arrays(fan_graph):
+    comms = fan_graph.comm_tasks()
+    for i, a in enumerate(comms):
+        for b in comms[i + 1:]:
+            if a.arrays & b.arrays:
+                assert b.index in fan_graph.succs[a.index]
+
+
+def test_sections_are_concretized_under_the_bindings():
+    graph = graph_for(FAN_SOURCE, bindings={"n": 8})
+    sections = [s for g in graph.groups.values() for s in g.sections]
+    assert "x1(1:8)" in sections
+    assert not any("n" in s for s in sections)
+
+
+def test_windows_report_slack(fan_graph):
+    windows = fan_graph.windows()
+    assert len(windows) == len(fan_graph.groups)
+    # the write-backs feeding the end consumers have computation
+    # between their EAGER and LAZY points to hide behind
+    assert any(w["slack_work"] > 0 for w in windows)
+    for window in windows:
+        if window["lazy_index"] is not None:
+            assert window["lazy_index"] > window["eager_index"]
+
+
+def test_gather_recv_is_shared_across_groups():
+    graph = graph_for(GATHER_SOURCE)
+    read_recvs = [t for t in graph.comm_tasks()
+                  if t.kind == "recv" and t.comm_kind == "read"]
+    assert len(read_recvs) == 1
+    assert len(read_recvs[0].groups) == 6
+
+
+def test_branch_policy_changes_the_trace():
+    result = generate_communication(FIG11_SOURCE)
+    taken = build_task_graph(result.annotated_program, None, {"n": 8},
+                             ConditionPolicy("always"))
+    skipped = build_task_graph(result.annotated_program, None, {"n": 8},
+                               ConditionPolicy("never"))
+    assert len(taken.tasks) != len(skipped.tasks)
+
+
+def test_timing_provenance_survives_into_tasks(fan_graph):
+    timings = {t.timing for t in fan_graph.comm_tasks()}
+    assert "EAGER" in timings or "LAZY" in timings

@@ -64,6 +64,24 @@ def test_simulate_gnt_vs_naive(fig11_file):
     assert gnt_messages < naive_messages
 
 
+def test_simulate_overlap_schedule(fig11_file):
+    code, output = run(["simulate", fig11_file, "--n", "16", "--branch",
+                        "never", "--schedule", "overlap"])
+    assert code == 0
+    assert "naive:" in output
+    assert "overlap:" in output
+    assert "state=identical" in output
+    assert "certified=ok" in output
+
+
+def test_simulate_overlap_schedule_with_faults(fig11_file):
+    code, output = run(["simulate", fig11_file, "--n", "16", "--branch",
+                        "never", "--schedule", "overlap",
+                        "--faults", "drop=0.2,seed=7", "--retries", "8"])
+    assert code == 0
+    assert "state=identical" in output
+
+
 def test_pre_report(tmp_path):
     path = tmp_path / "cse.f"
     path.write_text("u = a + b\nv = a + b\n")
